@@ -1,0 +1,208 @@
+//! Runs the full configuration × benchmark matrix.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use vpir_core::{
+    BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, SimStats, Simulator,
+    Validation, VpConfig, VpKind,
+};
+use vpir_redundancy::{analyze, LimitConfig, LimitStudy};
+use vpir_workloads::{Bench, Scale};
+
+/// Identifies one VP configuration in the matrix.
+pub type VpKey = (VpKind, Reexecution, BranchResolution, u32);
+
+/// All sixteen VP configurations the paper sweeps.
+pub fn vp_keys() -> Vec<VpKey> {
+    let mut keys = Vec::new();
+    for kind in [VpKind::Magic, VpKind::Lvp] {
+        for re in [Reexecution::Me, Reexecution::Nme] {
+            for br in [BranchResolution::Sb, BranchResolution::Nsb] {
+                for vl in [0u32, 1] {
+                    keys.push((kind, re, br, vl));
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// A short label like `ME-SB` for a VP key.
+pub fn vp_label(key: VpKey) -> String {
+    let (_, re, br, _) = key;
+    format!(
+        "{}-{}",
+        match re {
+            Reexecution::Me => "ME",
+            Reexecution::Nme => "NME",
+        },
+        match br {
+            BranchResolution::Sb => "SB",
+            BranchResolution::Nsb => "NSB",
+        }
+    )
+}
+
+fn vp_config(key: VpKey) -> VpConfig {
+    let (kind, re, br, vl) = key;
+    VpConfig {
+        kind,
+        reexecution: re,
+        branch_resolution: br,
+        verify_latency: vl,
+        ..VpConfig::magic()
+    }
+}
+
+/// How large a matrix run to perform.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixConfig {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Per-run cycle cap (the paper runs 200M cycles; scaled down here).
+    pub max_cycles: u64,
+    /// Dynamic-instruction cap for the functional limit study.
+    pub limit_insts: u64,
+}
+
+impl MatrixConfig {
+    /// Experiment scale: minutes of wall-clock for the full matrix.
+    pub fn experiment() -> MatrixConfig {
+        MatrixConfig {
+            scale: Scale::experiment(),
+            max_cycles: 20_000_000,
+            limit_insts: 3_000_000,
+        }
+    }
+
+    /// Quick scale for tests and `--quick` runs.
+    pub fn quick() -> MatrixConfig {
+        MatrixConfig {
+            scale: Scale::test(),
+            max_cycles: 2_000_000,
+            limit_insts: 200_000,
+        }
+    }
+}
+
+/// Every simulator run for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRuns {
+    /// Which benchmark.
+    pub bench: Bench,
+    /// The base Table 1 machine.
+    pub base: SimStats,
+    /// All sixteen VP configurations.
+    pub vp: HashMap<VpKey, SimStats>,
+    /// IR with early validation (the real mechanism).
+    pub ir_early: SimStats,
+    /// IR with validation deferred to execute (Figure 3).
+    pub ir_late: SimStats,
+    /// The Section 4.3 functional limit study.
+    pub limit: LimitStudy,
+}
+
+impl BenchRuns {
+    /// Speedup of `stats` over this benchmark's base run (IPC ratio).
+    pub fn speedup(&self, stats: &SimStats) -> f64 {
+        if self.base.ipc() == 0.0 {
+            0.0
+        } else {
+            stats.ipc() / self.base.ipc()
+        }
+    }
+}
+
+/// The full matrix: one [`BenchRuns`] per benchmark.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Per-benchmark results, in Table 2 order.
+    pub runs: Vec<BenchRuns>,
+}
+
+/// Runs one simulator configuration over one benchmark.
+pub fn run_one(bench: Bench, scale: Scale, config: CoreConfig, max_cycles: u64) -> SimStats {
+    let prog = bench.program(scale);
+    let mut sim = Simulator::new(&prog, config);
+    sim.run(RunLimits::cycles(max_cycles)).clone()
+}
+
+/// Runs everything needed for one benchmark.
+pub fn run_bench(bench: Bench, cfg: MatrixConfig) -> BenchRuns {
+    let prog = bench.program(cfg.scale);
+    let limits = RunLimits::cycles(cfg.max_cycles);
+    let run = |core: CoreConfig| -> SimStats {
+        let mut sim = Simulator::new(&prog, core);
+        sim.run(limits).clone()
+    };
+
+    let base = run(CoreConfig::table1());
+    let mut vp = HashMap::new();
+    for key in vp_keys() {
+        vp.insert(key, run(CoreConfig::with_vp(vp_config(key))));
+    }
+    let ir_early = run(CoreConfig::with_ir(IrConfig::table1()));
+    let ir_late = run(CoreConfig::with_ir(IrConfig {
+        validation: Validation::Late,
+        ..IrConfig::table1()
+    }));
+    let limit = analyze(&prog, cfg.limit_insts, LimitConfig::default());
+
+    BenchRuns {
+        bench,
+        base,
+        vp,
+        ir_early,
+        ir_late,
+        limit,
+    }
+}
+
+/// Runs the full matrix, one worker thread per benchmark.
+pub fn run_matrix(cfg: MatrixConfig) -> Matrix {
+    let results: Mutex<Vec<BenchRuns>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for bench in Bench::ALL {
+            let results = &results;
+            s.spawn(move || {
+                let runs = run_bench(bench, cfg);
+                results.lock().expect("no poisoned worker").push(runs);
+            });
+        }
+    });
+    let mut runs = results.into_inner().expect("workers done");
+    runs.sort_by_key(|r| Bench::ALL.iter().position(|b| *b == r.bench));
+    Matrix { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vp_key_space_is_complete() {
+        let keys = vp_keys();
+        assert_eq!(keys.len(), 16);
+        let labels: std::collections::HashSet<String> = keys
+            .iter()
+            .map(|&k| format!("{:?}-{}-{}", k.0, vp_label(k), k.3))
+            .collect();
+        assert_eq!(labels.len(), 16, "labels must be distinct");
+    }
+
+    #[test]
+    fn single_bench_runs_cover_all_configs() {
+        let cfg = MatrixConfig {
+            scale: Scale::of(1),
+            max_cycles: 200_000,
+            limit_insts: 50_000,
+        };
+        let runs = run_bench(Bench::Ijpeg, cfg);
+        assert!(runs.base.committed > 0);
+        assert_eq!(runs.vp.len(), 16);
+        assert!(runs.ir_early.committed > 0);
+        assert!(runs.limit.total > 0);
+        assert!(runs.speedup(&runs.ir_early) > 0.1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Last-target prediction for indirect jumps.
+
+/// A direct-mapped last-target table for indirect jumps (`jr`/`jalr`
+/// other than returns).
+///
+/// Predicts that an indirect jump goes where it went last time — the
+/// classic BTB policy for computed jumps (switch dispatch, function
+/// pointers).
+///
+/// # Examples
+///
+/// ```
+/// use vpir_branch::TargetTable;
+/// let mut tt = TargetTable::new(256);
+/// assert_eq!(tt.predict(0x4000), None);
+/// tt.update(0x4000, 0x9000);
+/// assert_eq!(tt.predict(0x4000), Some(0x9000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TargetTable {
+    entries: Vec<Option<(u64, u64)>>,
+}
+
+impl TargetTable {
+    /// Creates a table with `entries` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> TargetTable {
+        assert!(entries > 0, "need at least one entry");
+        TargetTable {
+            entries: vec![None; entries.next_power_of_two()],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// The predicted target for the jump at `pc`, if one is cached.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records the resolved target of the jump at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_last_target() {
+        let mut tt = TargetTable::new(64);
+        tt.update(0x100, 0x500);
+        assert_eq!(tt.predict(0x100), Some(0x500));
+        tt.update(0x100, 0x700);
+        assert_eq!(tt.predict(0x100), Some(0x700));
+    }
+
+    #[test]
+    fn tag_mismatch_misses() {
+        let mut tt = TargetTable::new(4);
+        tt.update(0x100, 0x500);
+        // 0x100 and 0x110 collide in a 4-entry table; tag check catches it.
+        assert_eq!(tt.predict(0x110), None);
+        tt.update(0x110, 0x900);
+        assert_eq!(tt.predict(0x110), Some(0x900));
+        assert_eq!(tt.predict(0x100), None, "evicted by collision");
+    }
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        let tt = TargetTable::new(100);
+        assert_eq!(tt.entries.len(), 128);
+    }
+}

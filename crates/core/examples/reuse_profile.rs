@@ -1,0 +1,24 @@
+//! Per-PC reuse profiling: which static instructions actually hit the
+//! reuse buffer on a benchmark?
+//!
+//! ```text
+//! cargo run --release -p vpir-core --example reuse_profile -- <bench>
+//! ```
+
+use vpir_core::{CoreConfig, IrConfig, RunLimits, Simulator};
+use vpir_workloads::{Bench, Scale};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "perl".into());
+    let b = Bench::parse(&bench).unwrap();
+    let prog = b.program(Scale::test());
+    let mut sim = Simulator::new(&prog, CoreConfig::with_ir(IrConfig::table1()));
+    let s = sim.run(RunLimits::cycles(5_000_000)).clone();
+    println!("committed={} mem_ops={} full={} addr={}", s.committed, s.mem_ops, s.reused_full, s.reused_addr);
+    let mut prof: Vec<_> = sim.reuse_profile().iter().collect();
+    prof.sort_by_key(|(_, (f, a))| std::cmp::Reverse(f + a));
+    for (pc, (f, a)) in prof.iter().take(14) {
+        let inst = prog.inst_at(**pc).unwrap();
+        println!("{pc:#x}: full={f:6} addr={a:6}  {inst}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Simulator configuration.
+//!
+//! [`CoreConfig::table1`] reproduces the paper's base machine exactly;
+//! the [`Enhancement`] field selects the baseline, one of the four VP
+//! configurations at either verification latency, or IR with early or
+//! late validation.
+
+use vpir_isa::FuClass;
+use vpir_mem::CacheConfig;
+use vpir_predict::VptConfig;
+use vpir_reuse::RbConfig;
+
+/// Which value predictor drives the VPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VpKind {
+    /// `VP_Magic`: last-*n*-unique-values with oracle selection.
+    Magic,
+    /// `VP_LVP`: last-value predictor.
+    Lvp,
+    /// `VP_Stride`: two-delta stride predictor (captures the paper's
+    /// *derivable* results, which neither LVP nor Magic track).
+    Stride,
+}
+
+/// How branches with value-speculative operands are resolved
+/// (Section 4.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchResolution {
+    /// *Speculative branch resolution*: resolve as soon as the branch
+    /// executes, even on value-speculative operands (may cause spurious
+    /// squashes).
+    Sb,
+    /// *Non-speculative branch resolution*: resolve only once the
+    /// operands are known non-value-speculative (delays resolution by the
+    /// verification latency).
+    Nsb,
+}
+
+/// How often an instruction may re-execute after value mispredictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reexecution {
+    /// *Multiple executions*: re-execute every time a new input value
+    /// arrives.
+    Me,
+    /// *No multiple executions*: re-execute once, after the correct
+    /// operands are known.
+    Nme,
+}
+
+/// When IR validates results (Figure 3's experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Validation {
+    /// At decode, the real IR pipeline: reused instructions skip execute,
+    /// reused branches resolve immediately.
+    Early,
+    /// At execute: reuse behaves like an always-correct value prediction
+    /// (the instruction still executes and resolves branches there).
+    Late,
+}
+
+/// Value-prediction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpConfig {
+    /// The predictor.
+    pub kind: VpKind,
+    /// SB or NSB branch handling.
+    pub branch_resolution: BranchResolution,
+    /// ME or NME re-execution policy.
+    pub reexecution: Reexecution,
+    /// VP-verification latency in cycles (the paper uses 0 and 1).
+    pub verify_latency: u32,
+    /// Geometry of the result VPT (and of the address VPT).
+    pub vpt: VptConfig,
+    /// Whether load effective addresses are also predicted.
+    pub predict_addresses: bool,
+}
+
+impl VpConfig {
+    /// `VP_Magic`, ME-SB, 0-cycle verification — the paper's headline
+    /// configuration.
+    pub fn magic() -> VpConfig {
+        VpConfig {
+            kind: VpKind::Magic,
+            branch_resolution: BranchResolution::Sb,
+            reexecution: Reexecution::Me,
+            verify_latency: 0,
+            vpt: VptConfig::table1(),
+            predict_addresses: true,
+        }
+    }
+
+    /// `VP_LVP`, ME-SB, 0-cycle verification.
+    pub fn lvp() -> VpConfig {
+        VpConfig {
+            kind: VpKind::Lvp,
+            ..VpConfig::magic()
+        }
+    }
+
+    /// Returns `self` with the given branch-resolution policy.
+    pub fn with_branches(mut self, br: BranchResolution) -> VpConfig {
+        self.branch_resolution = br;
+        self
+    }
+
+    /// Returns `self` with the given re-execution policy.
+    pub fn with_reexecution(mut self, re: Reexecution) -> VpConfig {
+        self.reexecution = re;
+        self
+    }
+
+    /// Returns `self` with the given verification latency.
+    pub fn with_verify_latency(mut self, cycles: u32) -> VpConfig {
+        self.verify_latency = cycles;
+        self
+    }
+
+    /// A short label like `"ME-SB"` for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}",
+            match self.reexecution {
+                Reexecution::Me => "ME",
+                Reexecution::Nme => "NME",
+            },
+            match self.branch_resolution {
+                BranchResolution::Sb => "SB",
+                BranchResolution::Nsb => "NSB",
+            }
+        )
+    }
+}
+
+/// Instruction-reuse configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrConfig {
+    /// Reuse-buffer geometry and scheme.
+    pub rb: RbConfig,
+    /// Early (real IR) or late (Figure 3) validation.
+    pub validation: Validation,
+}
+
+impl IrConfig {
+    /// The paper's IR configuration: 4K-entry 4-way RB, augmented
+    /// `S_{n+d}`, early validation.
+    pub fn table1() -> IrConfig {
+        IrConfig {
+            rb: RbConfig::table1(),
+            validation: Validation::Early,
+        }
+    }
+}
+
+/// Which direction predictor drives the front end (Table 1 uses gshare;
+/// the alternatives support sensitivity studies of how VP's and IR's
+/// branch interactions scale with prediction quality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrontEnd {
+    /// Gshare, 10-bit history / 16K counters (the paper's machine).
+    #[default]
+    Gshare,
+    /// A PC-indexed bimodal table (weaker on correlated branches).
+    Bimodal,
+    /// Static predict-taken (the stress baseline).
+    StaticTaken,
+}
+
+/// The redundancy mechanism under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enhancement {
+    /// The base superscalar — no VP, no IR.
+    None,
+    /// Value prediction.
+    Vp(VpConfig),
+    /// Instruction reuse.
+    Ir(IrConfig),
+    /// The hybrid the paper's conclusion calls for: the non-speculative
+    /// reuse test runs first; instructions that miss in the RB fall back
+    /// to value prediction. Reused results need no verification; only
+    /// the predicted remainder is value-speculative.
+    Hybrid(VpConfig, IrConfig),
+}
+
+/// Full machine configuration (Table 1 defaults).
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions dispatched (decoded + renamed) per cycle.
+    pub decode_width: usize,
+    /// Operations issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Load/store-queue entries.
+    pub lsq_size: usize,
+    /// Maximum unresolved branches in flight.
+    pub max_branches: usize,
+    /// Fetch cannot cross a boundary of this many bytes in one cycle.
+    pub fetch_line_bytes: u64,
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Data-cache ports.
+    pub dcache_ports: u32,
+    /// Functional-unit counts, indexed by [`FuClass::index`].
+    pub fu_counts: [usize; 5],
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Front-end direction predictor.
+    pub front_end: FrontEnd,
+    /// The mechanism under study.
+    pub enhancement: Enhancement,
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 machine with no enhancement.
+    pub fn table1() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 32,
+            lsq_size: 32,
+            max_branches: 8,
+            fetch_line_bytes: 32,
+            icache: CacheConfig::table1_inst(),
+            dcache: CacheConfig::table1_data(),
+            dcache_ports: 2,
+            fu_counts: {
+                let mut c = [0; 5];
+                for fu in FuClass::ALL {
+                    c[fu.index()] = fu.default_count();
+                }
+                c
+            },
+            ras_depth: 16,
+            front_end: FrontEnd::Gshare,
+            enhancement: Enhancement::None,
+        }
+    }
+
+    /// Table 1 machine with a VP configuration.
+    pub fn with_vp(vp: VpConfig) -> CoreConfig {
+        CoreConfig {
+            enhancement: Enhancement::Vp(vp),
+            ..CoreConfig::table1()
+        }
+    }
+
+    /// Table 1 machine with an IR configuration.
+    pub fn with_ir(ir: IrConfig) -> CoreConfig {
+        CoreConfig {
+            enhancement: Enhancement::Ir(ir),
+            ..CoreConfig::table1()
+        }
+    }
+
+    /// Table 1 machine with the VP+IR hybrid (reuse first, predict on a
+    /// reuse miss).
+    pub fn with_hybrid(vp: VpConfig, ir: IrConfig) -> CoreConfig {
+        CoreConfig {
+            enhancement: Enhancement::Hybrid(vp, ir),
+            ..CoreConfig::table1()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or buffer size is zero.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be positive");
+        assert!(self.decode_width > 0, "decode width must be positive");
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.commit_width > 0, "commit width must be positive");
+        assert!(self.rob_size > 1, "ROB too small");
+        assert!(self.lsq_size > 0, "LSQ too small");
+        assert!(self.max_branches > 0, "need at least one branch checkpoint");
+        assert!(
+            self.fetch_line_bytes.is_power_of_two(),
+            "fetch line must be a power of two"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = CoreConfig::table1();
+        c.validate();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 32);
+        assert_eq!(c.lsq_size, 32);
+        assert_eq!(c.max_branches, 8);
+        assert_eq!(c.fu_counts, [8, 2, 1, 4, 1]);
+        assert_eq!(c.dcache_ports, 2);
+        assert_eq!(c.icache.size_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn vp_labels() {
+        let vp = VpConfig::magic();
+        assert_eq!(vp.label(), "ME-SB");
+        assert_eq!(
+            vp.with_branches(BranchResolution::Nsb)
+                .with_reexecution(Reexecution::Nme)
+                .label(),
+            "NME-NSB"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB too small")]
+    fn degenerate_rob_rejected() {
+        let mut c = CoreConfig::table1();
+        c.rob_size = 1;
+        c.validate();
+    }
+}

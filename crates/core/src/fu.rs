@@ -1,0 +1,159 @@
+//! Functional-unit pool with issue intervals.
+
+use vpir_isa::{FuClass, Op};
+
+/// Tracks per-unit busy times for the five Table 1 pools.
+///
+/// A unit accepts a new operation when its previous operation's *issue
+/// interval* has elapsed (divides are effectively non-pipelined:
+/// `int div` holds its unit for 19 cycles, `fp div` for 12, `fp sqrt`
+/// for 24).
+///
+/// # Examples
+///
+/// ```
+/// use vpir_core::FuPool;
+/// use vpir_isa::Op;
+///
+/// let mut pool = FuPool::table1();
+/// // One int divider: a second divide in the same cycle is denied.
+/// assert!(pool.try_issue(10, Op::Div));
+/// assert!(!pool.try_issue(10, Op::Div));
+/// assert!(!pool.try_issue(20, Op::Div)); // still busy (interval 19)
+/// assert!(pool.try_issue(29, Op::Div));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// `busy_until[pool][unit]`: first cycle the unit is free again.
+    busy_until: [Vec<u64>; 5],
+    requests: u64,
+    denials: u64,
+}
+
+impl FuPool {
+    /// Creates a pool with `counts[FuClass::index()]` units per class.
+    pub fn new(counts: [usize; 5]) -> FuPool {
+        FuPool {
+            busy_until: [
+                vec![0; counts[0]],
+                vec![0; counts[1]],
+                vec![0; counts[2]],
+                vec![0; counts[3]],
+                vec![0; counts[4]],
+            ],
+            requests: 0,
+            denials: 0,
+        }
+    }
+
+    /// The Table 1 pool: 8 int ALUs, 2 load/store, 1 int mul/div,
+    /// 4 FP adders, 1 FP mul/div.
+    pub fn table1() -> FuPool {
+        let mut counts = [0; 5];
+        for fu in FuClass::ALL {
+            counts[fu.index()] = fu.default_count();
+        }
+        FuPool::new(counts)
+    }
+
+    /// Tries to issue `op` in `cycle`; on success the chosen unit is busy
+    /// for the op's issue interval. Returns whether a unit was granted.
+    pub fn try_issue(&mut self, cycle: u64, op: Op) -> bool {
+        self.requests += 1;
+        let pool = &mut self.busy_until[op.fu_class().index()];
+        match pool.iter_mut().find(|b| **b <= cycle) {
+            Some(slot) => {
+                *slot = cycle + op.latency().1 as u64;
+                true
+            }
+            None => {
+                self.denials += 1;
+                false
+            }
+        }
+    }
+
+    /// Whether a unit for `op` is free in `cycle` (no state change, no
+    /// contention accounting).
+    pub fn peek(&self, cycle: u64, op: Op) -> bool {
+        self.busy_until[op.fu_class().index()]
+            .iter()
+            .any(|b| *b <= cycle)
+    }
+
+    /// Total `(requests, denials)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.requests, self.denials)
+    }
+
+    /// Clears busy state (used after a full pipeline squash is *not*
+    /// appropriate — units keep executing squashed work — so this exists
+    /// only for tests and run boundaries).
+    pub fn reset(&mut self) {
+        for pool in &mut self.busy_until {
+            pool.fill(0);
+        }
+        self.requests = 0;
+        self.denials = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_alu_accepts_every_cycle() {
+        let mut p = FuPool::table1();
+        for c in 0..20 {
+            assert!(p.try_issue(c, Op::Add));
+        }
+        assert_eq!(p.totals(), (20, 0));
+    }
+
+    #[test]
+    fn alu_width_is_eight() {
+        let mut p = FuPool::table1();
+        for _ in 0..8 {
+            assert!(p.try_issue(5, Op::Add));
+        }
+        assert!(!p.try_issue(5, Op::Add));
+        assert!(p.try_issue(6, Op::Add));
+    }
+
+    #[test]
+    fn divider_blocks_for_issue_interval() {
+        let mut p = FuPool::table1();
+        assert!(p.try_issue(0, Op::Div));
+        assert!(!p.try_issue(18, Op::Div));
+        assert!(p.try_issue(19, Op::Div));
+    }
+
+    #[test]
+    fn multiplier_is_pipelined() {
+        let mut p = FuPool::table1();
+        assert!(p.try_issue(0, Op::Mul));
+        assert!(p.try_issue(1, Op::Mul));
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut p = FuPool::table1();
+        assert!(p.try_issue(0, Op::DivF));
+        assert!(!p.try_issue(0, Op::SqrtF), "same FP mul/div unit");
+        assert!(p.try_issue(0, Op::AddF), "FP adders are separate");
+        assert!(p.try_issue(0, Op::Lw));
+        assert!(p.try_issue(0, Op::Sw));
+        assert!(!p.try_issue(0, Op::Lb), "only two load/store units");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut p = FuPool::table1();
+        assert!(p.peek(0, Op::Div));
+        assert!(p.peek(0, Op::Div));
+        assert!(p.try_issue(0, Op::Div));
+        assert!(!p.peek(1, Op::Div));
+        assert_eq!(p.totals(), (1, 0), "peek is not a request");
+    }
+}

@@ -1,0 +1,1715 @@
+//! The out-of-order pipeline.
+//!
+//! A cycle-level model of the Table 1 machine. Like SimpleScalar's
+//! `sim-outorder`, every instruction executes *functionally at dispatch*
+//! against a speculative architectural state (following the predicted —
+//! possibly wrong — path), while the timing model separately determines
+//! *when* values become visible, when branches resolve, and when
+//! instructions commit. This makes value-speculative execution concrete:
+//! a consumer that issues with a mispredicted input computes a real wrong
+//! value (via the same ISA semantics), wrong values propagate through
+//! dependence chains, and branches executed on wrong values squash down
+//! genuinely spurious paths.
+
+use std::collections::{HashMap, VecDeque};
+
+use vpir_branch::{Bimodal, DirectionPredictor, Gshare, ReturnStack, StaticTaken, TargetTable};
+use vpir_isa::{
+    execute, Inst, LoadSource, Op, OpClass, Program, Reg, RegFile, INST_BYTES, STACK_TOP,
+};
+use vpir_mem::{Cache, PortArbiter};
+use vpir_predict::{LastValuePredictor, MagicPredictor, StridePredictor, ValuePredictor};
+use vpir_reuse::{OperandView, RbInsert, RbMem, ReuseBuffer};
+
+use crate::config::{
+    BranchResolution, CoreConfig, Enhancement, FrontEnd, Reexecution, Validation, VpKind,
+};
+use crate::fu::FuPool;
+use crate::rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};
+use crate::spec_state::SpecState;
+use crate::stats::SimStats;
+use crate::trace::{TraceLog, TraceOutcome};
+
+/// Run-length limits for [`Simulator::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Stop after this many cycles.
+    pub max_cycles: u64,
+    /// Stop after committing this many instructions.
+    pub max_insts: u64,
+}
+
+impl RunLimits {
+    /// Limits that stop only at program completion (within reason).
+    pub fn unbounded() -> RunLimits {
+        RunLimits {
+            max_cycles: u64::MAX / 4,
+            max_insts: u64::MAX / 4,
+        }
+    }
+
+    /// Stop after `cycles` cycles (the paper simulates 200M cycles).
+    pub fn cycles(cycles: u64) -> RunLimits {
+        RunLimits {
+            max_cycles: cycles,
+            max_insts: u64::MAX / 4,
+        }
+    }
+
+    /// Stop after `insts` committed instructions.
+    pub fn insts(insts: u64) -> RunLimits {
+        RunLimits {
+            max_cycles: u64::MAX / 4,
+            max_insts: insts,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Vp {
+    Magic(MagicPredictor),
+    Lvp(LastValuePredictor),
+    Stride(StridePredictor),
+}
+
+impl Vp {
+    fn new(kind: VpKind, vpt: vpir_predict::VptConfig) -> Vp {
+        match kind {
+            VpKind::Magic => Vp::Magic(MagicPredictor::new(vpt)),
+            VpKind::Lvp => Vp::Lvp(LastValuePredictor::new(vpt)),
+            VpKind::Stride => Vp::Stride(StridePredictor::new(vpt)),
+        }
+    }
+
+    fn predict(&mut self, pc: u64, oracle: Option<u64>) -> Option<u64> {
+        match self {
+            Vp::Magic(p) => p.predict(pc, oracle),
+            Vp::Lvp(p) => p.predict(pc, oracle),
+            Vp::Stride(p) => p.predict(pc, oracle),
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        match self {
+            Vp::Magic(p) => p.train(pc, actual),
+            Vp::Lvp(p) => p.train(pc, actual),
+            Vp::Stride(p) => p.train(pc, actual),
+        }
+    }
+
+    fn stats(&self) -> vpir_predict::VptStats {
+        match self {
+            Vp::Magic(p) => p.stats(),
+            Vp::Lvp(p) => p.stats(),
+            Vp::Stride(p) => p.stats(),
+        }
+    }
+}
+
+/// The configured front-end direction predictor.
+#[derive(Debug, Clone)]
+enum FrontEndBp {
+    Gshare(Gshare),
+    Bimodal(Bimodal),
+    StaticTaken(StaticTaken),
+}
+
+impl FrontEndBp {
+    fn new(kind: FrontEnd) -> FrontEndBp {
+        match kind {
+            FrontEnd::Gshare => FrontEndBp::Gshare(Gshare::table1()),
+            FrontEnd::Bimodal => FrontEndBp::Bimodal(Bimodal::new(14)),
+            FrontEnd::StaticTaken => FrontEndBp::StaticTaken(StaticTaken),
+        }
+    }
+
+    fn predict(&mut self, pc: u64) -> (bool, u64) {
+        match self {
+            FrontEndBp::Gshare(p) => p.predict(pc),
+            FrontEndBp::Bimodal(p) => p.predict(pc),
+            FrontEndBp::StaticTaken(p) => p.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, token: u64) {
+        match self {
+            FrontEndBp::Gshare(p) => p.update(pc, taken, token),
+            FrontEndBp::Bimodal(p) => p.update(pc, taken, token),
+            FrontEndBp::StaticTaken(p) => p.update(pc, taken, token),
+        }
+    }
+
+    fn recover(&mut self, token: u64, actual_taken: bool) {
+        match self {
+            FrontEndBp::Gshare(p) => p.recover(token, actual_taken),
+            FrontEndBp::Bimodal(p) => p.recover(token, actual_taken),
+            FrontEndBp::StaticTaken(p) => p.recover(token, actual_taken),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInst {
+    pc: u64,
+    inst: Inst,
+    /// Fetch-time control prediction: `(taken, target, bp token, used
+    /// RAS, RAS snapshot after this instruction's own push/pop)`.
+    pred: Option<FetchPred>,
+}
+
+#[derive(Debug, Clone)]
+struct FetchPred {
+    taken: bool,
+    target: u64,
+    token: u64,
+    used_ras: bool,
+    ras_snapshot: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    map: Vec<Option<(usize, u64)>>,
+    ras: Vec<u64>,
+}
+
+/// The cycle-level out-of-order simulator.
+///
+/// # Examples
+///
+/// ```
+/// use vpir_core::{CoreConfig, RunLimits, Simulator};
+/// use vpir_isa::asm;
+///
+/// let prog = asm::assemble(
+///     "       li   r1, 100
+///      loop:  addi r2, r2, 1
+///             addi r1, r1, -1
+///             bne  r1, r0, loop
+///             halt",
+/// )?;
+/// let mut sim = Simulator::new(&prog, CoreConfig::table1());
+/// sim.run(RunLimits::unbounded());
+/// assert!(sim.halted());
+/// assert_eq!(sim.arch_regs().read(vpir_isa::Reg::int(2)), 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator {
+    config: CoreConfig,
+    program: Program,
+    now: u64,
+    next_seq: u64,
+
+    // Front end.
+    fetch_pc: u64,
+    fetch_stalled_until: u64,
+    fetch_halted: bool,
+    fetch_queue: VecDeque<FetchedInst>,
+    bp: FrontEndBp,
+    ras: ReturnStack,
+    targets: TargetTable,
+    icache: Cache,
+
+    // State.
+    spec: SpecState,
+    arch_regs: RegFile,
+    rob: Rob,
+    map: Vec<Option<(usize, u64)>>,
+    checkpoints: HashMap<u64, Checkpoint>,
+
+    // Back end.
+    dcache: Cache,
+    dports: PortArbiter,
+    fus: FuPool,
+
+    // Enhancements.
+    vp_result: Option<Vp>,
+    vp_addr: Option<Vp>,
+    rb: Option<ReuseBuffer>,
+    reuse_profile: HashMap<u64, (u64, u64)>,
+    trace: Option<TraceLog>,
+
+    halted: bool,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Creates a simulator over `program` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CoreConfig::validate`]).
+    pub fn new(program: &Program, config: CoreConfig) -> Simulator {
+        config.validate();
+        let mut mem = vpir_isa::MemImage::new();
+        program.load_data(&mut mem);
+        let mut regs = RegFile::new();
+        regs.write(Reg::SP, STACK_TOP);
+        let arch_regs = regs.clone();
+        let spec = SpecState::from_parts(regs, mem);
+
+        let (vp_result, vp_addr, rb) = match &config.enhancement {
+            Enhancement::None => (None, None, None),
+            Enhancement::Vp(vp) => (
+                Some(Vp::new(vp.kind, vp.vpt)),
+                vp.predict_addresses.then(|| Vp::new(vp.kind, vp.vpt)),
+                None,
+            ),
+            Enhancement::Ir(ir) => (None, None, Some(ReuseBuffer::new(ir.rb))),
+            Enhancement::Hybrid(vp, ir) => (
+                Some(Vp::new(vp.kind, vp.vpt)),
+                vp.predict_addresses.then(|| Vp::new(vp.kind, vp.vpt)),
+                Some(ReuseBuffer::new(ir.rb)),
+            ),
+        };
+
+        Simulator {
+            fetch_pc: program.entry,
+            fetch_stalled_until: 0,
+            fetch_halted: false,
+            fetch_queue: VecDeque::new(),
+            bp: FrontEndBp::new(config.front_end),
+            ras: ReturnStack::new(config.ras_depth),
+            targets: TargetTable::new(512),
+            icache: Cache::new(config.icache),
+            spec,
+            arch_regs,
+            rob: Rob::new(config.rob_size),
+            map: vec![None; vpir_isa::NUM_REGS],
+            checkpoints: HashMap::new(),
+            dcache: Cache::new(config.dcache),
+            dports: PortArbiter::new(config.dcache_ports),
+            fus: FuPool::new(config.fu_counts),
+            vp_result,
+            vp_addr,
+            rb,
+            reuse_profile: HashMap::new(),
+            trace: None,
+            halted: false,
+            stats: SimStats::default(),
+            now: 0,
+            next_seq: 1,
+            program: program.clone(),
+            config,
+        }
+    }
+
+    /// The committed (architected) register file.
+    pub fn arch_regs(&self) -> &RegFile {
+        &self.arch_regs
+    }
+
+    /// The speculative memory image (equals architected memory whenever
+    /// the pipeline is drained, e.g. after `halt` commits).
+    pub fn mem(&self) -> &vpir_isa::MemImage {
+        self.spec.mem()
+    }
+
+    /// Whether a `halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Per-PC `(full, address)` reuse counts for committed instructions
+    /// (empty unless IR is enabled). Useful for diagnosing which static
+    /// instructions benefit from the reuse buffer.
+    pub fn reuse_profile(&self) -> &HashMap<u64, (u64, u64)> {
+        &self.reuse_profile
+    }
+
+    /// Starts tracing the next `capacity` dispatched instructions (see
+    /// [`TraceLog`]). Replaces any previous trace.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The trace collected so far, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Runs until `halt` commits or a limit is reached; returns the stats.
+    pub fn run(&mut self, limits: RunLimits) -> &SimStats {
+        while !self.halted
+            && self.now < limits.max_cycles
+            && self.stats.committed < limits.max_insts
+        {
+            self.step_cycle();
+        }
+        self.finalize_stats();
+        &self.stats
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.now;
+        self.stats.icache = self.icache.stats();
+        self.stats.dcache = self.dcache.stats();
+        let (pr, pd) = self.dports.totals();
+        self.stats.port_requests = pr;
+        self.stats.port_denials = pd;
+        let (fr, fd) = self.fus.totals();
+        self.stats.fu_requests = fr;
+        self.stats.fu_denials = fd;
+        if let Some(vp) = &self.vp_result {
+            self.stats.vpt_result = vp.stats();
+        }
+        if let Some(vp) = &self.vp_addr {
+            self.stats.vpt_addr = vp.stats();
+        }
+        if let Some(rb) = &self.rb {
+            self.stats.rb = rb.stats();
+        }
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step_cycle(&mut self) {
+        self.now += 1;
+        self.commit();
+        if self.halted {
+            return;
+        }
+        self.writeback();
+        self.promote();
+        self.resolve_branches();
+        self.memory_access();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+    }
+
+    // ----------------------------------------------------------------
+    // Commit
+    // ----------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !self.can_commit(head) {
+                break;
+            }
+            // Stores need a data-cache write port at commit.
+            if head.mem.is_some_and(|m| !m.is_load) {
+                self.stats.port_requests += 1;
+                if !self.dports.request(self.now) {
+                    self.stats.port_denials += 1;
+                    break;
+                }
+                let addr = head.out.addr.expect("store addr");
+                self.dcache.access(self.now, addr, true);
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            self.retire(e);
+            if self.halted {
+                return;
+            }
+        }
+    }
+
+    fn can_commit(&self, e: &RobEntry) -> bool {
+        if e.exec.is_some() {
+            return false;
+        }
+        if self.now <= e.dispatch_cycle {
+            return false;
+        }
+        if let Some(ctrl) = &e.ctrl {
+            if !ctrl.resolved {
+                return false;
+            }
+        }
+        if let Some(mem) = &e.mem {
+            if mem.is_load && !e.reused {
+                // The load's access must have completed at the true address.
+                let done = mem
+                    .access_finish
+                    .is_some_and(|f| f <= self.now)
+                    && mem.accessed_addr == e.out.addr;
+                if !done {
+                    return false;
+                }
+            }
+            if !mem.is_load && mem.addr_known.is_none() {
+                return false;
+            }
+        }
+        match e.inst.op.class() {
+            OpClass::Misc => true,
+            _ => e.nonspec(self.now),
+        }
+    }
+
+    fn retire(&mut self, e: RobEntry) {
+        self.stats.committed += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_commit(e.seq, self.now);
+        }
+
+        // Architected register state.
+        if let (Some(dst), Some(v)) = (e.inst.dst, e.out.result) {
+            self.arch_regs.write(dst, v);
+            if let Some(rb) = self.rb.as_mut() {
+                rb.on_reg_write(dst, v);
+            }
+        }
+        // Free the rename-map entry if it still points at this instruction.
+        for (reg, m) in self.map.iter_mut().enumerate() {
+            if let Some((_, seq)) = m {
+                if *seq == e.seq {
+                    let _ = reg;
+                    *m = None;
+                }
+            }
+        }
+        self.spec.retire_upto(e.seq);
+
+        // Memory-side bookkeeping.
+        if let Some(mem) = &e.mem {
+            self.stats.mem_ops += 1;
+            if !mem.is_load {
+                if let Some(rb) = self.rb.as_mut() {
+                    rb.on_store(e.out.addr.expect("store addr"), mem.width);
+                }
+            }
+        }
+
+        // Control-side bookkeeping.
+        if let Some(ctrl) = &e.ctrl {
+            let lat = ctrl.resolve_cycle.saturating_sub(e.dispatch_cycle);
+            match e.inst.op.class() {
+                OpClass::Branch => {
+                    self.stats.branches += 1;
+                    let actual = e.out.control.expect("branch outcome").taken;
+                    self.bp.update(e.pc, actual, ctrl.bp_token);
+                    if ctrl.original_taken != actual {
+                        self.stats.branch_mispredicts += 1;
+                    }
+                    self.stats.branch_resolution_latency_sum += lat;
+                    self.stats.branch_resolution_count += 1;
+                }
+                OpClass::JumpReg => {
+                    let target = e.out.control.expect("jump target").target;
+                    if e.inst.is_return() {
+                        self.stats.returns += 1;
+                        if ctrl.original_target != target {
+                            self.stats.return_mispredicts += 1;
+                        }
+                    } else {
+                        self.targets.update(e.pc, target);
+                    }
+                    self.stats.branch_resolution_latency_sum += lat;
+                    self.stats.branch_resolution_count += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // Value-prediction training and accounting.
+        if e.writes_reg() && e.inst.op.class() != OpClass::Jump {
+            self.stats.result_producers += 1;
+            let actual = e.out.result.expect("result");
+            if let Some(vp) = self.vp_result.as_mut() {
+                vp.train(e.pc, actual);
+            }
+            if let Some(p) = e.predicted {
+                self.stats.result_predicted += 1;
+                if p == actual {
+                    self.stats.result_pred_correct += 1;
+                }
+            }
+        }
+        if let Some(mem) = &e.mem {
+            if mem.is_load {
+                let actual = e.out.addr.expect("load addr");
+                if let Some(vp) = self.vp_addr.as_mut() {
+                    vp.train(e.pc, actual);
+                }
+                if let Some(p) = e.addr_predicted {
+                    self.stats.addr_predicted += 1;
+                    if p == actual {
+                        self.stats.addr_pred_correct += 1;
+                    }
+                }
+            }
+        }
+
+        // Reuse accounting. A fully reused memory operation also reused
+        // its address, so it counts in both columns (Table 3's address
+        // percentages are over memory operations whose effective address
+        // came from the RB).
+        if e.reused {
+            self.stats.reused_full += 1;
+            self.reuse_profile.entry(e.pc).or_default().0 += 1;
+        }
+        if e.addr_reused || (e.reused && e.mem.is_some()) {
+            self.stats.reused_addr += 1;
+            self.reuse_profile.entry(e.pc).or_default().1 += 1;
+        }
+        if e.reused || e.addr_reused {
+            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), e.reuse_source) {
+                if rb.take_flag(entry) {
+                    self.stats.squash_recovered += 1;
+                }
+            }
+        }
+
+        // Execution-count histogram (Table 6).
+        let bucket = (e.exec_count as usize).min(3);
+        self.stats.exec_histogram[bucket] += 1;
+
+        if e.inst.op == Op::Halt {
+            self.halted = true;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Writeback: executions finishing by `now`.
+    // ----------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let slots: Vec<usize> = self.rob.slots_in_order().collect();
+        for slot in slots {
+            let Some(e) = self.rob.get(slot) else { continue };
+            let Some(pe) = e.exec else { continue };
+            if pe.finish > self.now {
+                continue;
+            }
+            self.complete_exec(slot, pe);
+        }
+    }
+
+    fn complete_exec(&mut self, slot: usize, pe: PendingExec) {
+        let verify_latency = self.verify_latency();
+        // Recompute the value produced with the inputs that were used.
+        let (rv, computed_ctrl, computed_addr) = {
+            let e = self.rob.get(slot).expect("entry exists");
+            let inputs = pe.inputs;
+            let inst = e.inst;
+            let pc = e.pc;
+            let read = |r: Reg| {
+                if Some(r) == inst.src1 {
+                    inputs[0].unwrap_or(0)
+                } else if Some(r) == inst.src2 {
+                    inputs[1].unwrap_or(0)
+                } else {
+                    0
+                }
+            };
+            let out = execute(&inst, pc, read, self.spec.mem());
+            (
+                out.result,
+                out.control.map(|c| (c.taken, c.target)),
+                out.addr,
+            )
+        };
+
+        let e = self.rob.get_mut(slot).expect("entry exists");
+        e.exec = None;
+        e.exec_count += 1;
+        self.stats.executions += 1;
+        let seq = e.seq;
+        if let Some(t) = self.trace.as_mut() {
+            t.on_complete(seq, pe.finish);
+        }
+        let e = self.rob.get_mut(slot).expect("entry exists");
+        e.last_inputs = pe.inputs;
+        e.last_inputs_correct = pe.inputs_correct;
+        e.last_inputs_final = pe.inputs_final;
+        e.computed_ctrl = computed_ctrl;
+
+        if let Some(mem) = e.mem.as_mut() {
+            // Memory op: this execution was address generation.
+            mem.computed_addr = computed_addr;
+            if pe.inputs_correct {
+                mem.addr_known = Some(pe.finish);
+            }
+            // A completed access at a stale address must be redone.
+            if mem.is_load
+                && mem.access_finish.is_some()
+                && mem.accessed_addr != computed_addr
+            {
+                mem.access_finish = None;
+                mem.accessed_addr = None;
+                e.visible = None;
+            }
+            // Loads produce their value at access completion, not here.
+            // Stores have no result; finality comes from promotion or
+            // directly when inputs were final.
+            if !mem.is_load && pe.inputs_final {
+                e.nonspec_cycle = Some(pe.finish);
+            }
+            return;
+        }
+
+        let was_predicted = e.predicted.is_some();
+        let matches_prediction = was_predicted && e.predicted == rv;
+        if pe.inputs_final {
+            if was_predicted && !matches_prediction {
+                // Value misprediction: corrected value visible after the
+                // verification latency (charged once per chain).
+                e.visible = rv.map(|v| VisibleValue {
+                    value: v,
+                    since: pe.finish + verify_latency,
+                });
+                e.nonspec_cycle = Some(pe.finish + verify_latency);
+            } else if was_predicted {
+                // Correct prediction: consumers already have the value;
+                // verification completes after the latency.
+                e.nonspec_cycle = Some(pe.finish + verify_latency);
+            } else {
+                e.visible = rv.map(|v| VisibleValue {
+                    value: v,
+                    since: pe.finish,
+                });
+                e.nonspec_cycle = Some(pe.finish);
+            }
+        } else {
+            // Executed with value-speculative inputs: result is visible
+            // but remains speculative until promotion.
+            match (e.visible, rv) {
+                (Some(v), Some(nv)) if v.value == nv => {}
+                (_, Some(nv)) => {
+                    e.visible = Some(VisibleValue {
+                        value: nv,
+                        since: pe.finish,
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        // Record completed work in the reuse buffer (including wrong-path
+        // work — that is how IR recovers squashed effort).
+        if pe.inputs_correct {
+            self.record_in_rb(slot);
+        }
+    }
+
+    fn verify_latency(&self) -> u64 {
+        match &self.config.enhancement {
+            Enhancement::Vp(vp) | Enhancement::Hybrid(vp, _) => vp.verify_latency as u64,
+            _ => 0,
+        }
+    }
+
+    fn record_in_rb(&mut self, slot: usize) {
+        if self.rb.is_none() {
+            return;
+        }
+        let e = self.rob.get(slot).expect("entry exists");
+        if e.reused {
+            return;
+        }
+        match e.inst.op.class() {
+            OpClass::Misc | OpClass::Jump => return,
+            _ => {}
+        }
+        let mut srcs = [None, None];
+        let mut src_entries = [None, None];
+        let mut src_pcs = [None, None];
+        for (i, src) in [e.inst.src1, e.inst.src2].into_iter().enumerate() {
+            let Some(reg) = src else { continue };
+            srcs[i] = Some((reg, e.src_values[i].unwrap_or(0)));
+            if let Some((pslot, pseq)) = e.producers[i] {
+                if let Some(p) = self.rob.get(pslot) {
+                    if p.seq == pseq {
+                        src_entries[i] = p.rb_entry;
+                        src_pcs[i] = Some(p.pc);
+                    }
+                }
+            }
+        }
+        let is_branch = e.inst.op.class() == OpClass::Branch;
+        let result = if is_branch {
+            e.out.control.map(|c| c.taken as u64)
+        } else if e.inst.op.class() == OpClass::JumpReg {
+            e.out.control.map(|c| c.target)
+        } else {
+            e.out.result
+        };
+        let mem = e.mem.as_ref().map(|m| RbMem {
+            addr: e.out.addr.expect("memory op address"),
+            width: m.width,
+        });
+        // For loads, only record the full entry once the access finished
+        // at the right address; before that, record nothing (the entry
+        // will be written when the access completes).
+        if e.mem.as_ref().is_some_and(|m| m.is_load) {
+            let ok = e
+                .mem
+                .as_ref()
+                .is_some_and(|m| m.access_finish.is_some() && m.accessed_addr == e.out.addr);
+            if !ok {
+                return;
+            }
+        }
+        let rec = RbInsert {
+            pc: e.pc,
+            op: e.inst.op,
+            srcs,
+            src_entries,
+            src_pcs,
+            result,
+            mem,
+        };
+        let pc = e.pc;
+        let seq = e.seq;
+        let entry = self.rb.as_mut().expect("rb present").insert(rec);
+        let _ = pc;
+        if let Some(e) = self.rob.get_mut(slot) {
+            if e.seq == seq {
+                e.rb_entry = Some(entry);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Promotion: transitive verification of value-speculative results.
+    // ----------------------------------------------------------------
+
+    fn inputs_final_now(&self, e: &RobEntry) -> bool {
+        for p in e.producers.iter().flatten() {
+            let (slot, seq) = *p;
+            match self.rob.get(slot) {
+                Some(pe) if pe.seq == seq
+                    && !pe.nonspec(self.now) => {
+                        return false;
+                    }
+                _ => {} // producer committed: final
+            }
+        }
+        true
+    }
+
+    fn promote(&mut self) {
+        let slots: Vec<usize> = self.rob.slots_in_order().collect();
+        for slot in slots {
+            let Some(e) = self.rob.get(slot) else { continue };
+            if e.nonspec_cycle.is_some() || e.exec.is_some() {
+                continue;
+            }
+            if e.exec_count == 0 || !e.last_inputs_correct {
+                continue;
+            }
+            if e.mem.as_ref().is_some_and(|m| {
+                m.is_load && !(m.access_finish.is_some_and(|f| f <= self.now)
+                    && m.accessed_addr == e.out.addr)
+            }) {
+                continue;
+            }
+            if self.inputs_final_now(e) {
+                let e = self.rob.get_mut(slot).expect("entry exists");
+                e.nonspec_cycle = Some(self.now);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Branch resolution.
+    // ----------------------------------------------------------------
+
+    fn resolve_branches(&mut self) {
+        let slots: Vec<usize> = self.rob.slots_in_order().collect();
+        for slot in slots {
+            let Some(e) = self.rob.get(slot) else { continue };
+            let Some(ctrl) = &e.ctrl else { continue };
+            if ctrl.resolved || e.exec.is_some() {
+                continue;
+            }
+            let Some((taken, target)) = e.computed_ctrl else {
+                continue;
+            };
+            let inputs_final =
+                e.last_inputs_final || (e.last_inputs_correct && self.inputs_final_now(e));
+            let new_outcome = e.exec_count > ctrl.acted_count;
+            let act_now = match self.branch_resolution() {
+                BranchResolution::Sb => new_outcome || inputs_final,
+                BranchResolution::Nsb => inputs_final,
+            };
+            if !act_now {
+                continue;
+            }
+            let squashed = self.act_on_branch(slot, taken, target, inputs_final);
+            if squashed {
+                // The ROB changed under us; re-run next cycle.
+                break;
+            }
+        }
+    }
+
+    fn branch_resolution(&self) -> BranchResolution {
+        match &self.config.enhancement {
+            Enhancement::Vp(vp) | Enhancement::Hybrid(vp, _) => vp.branch_resolution,
+            _ => BranchResolution::Sb, // no value speculation: equivalent
+        }
+    }
+
+    /// Acts on a computed branch outcome; returns whether it squashed.
+    fn act_on_branch(&mut self, slot: usize, taken: bool, target: u64, is_final: bool) -> bool {
+        let (seq, followed_taken, followed_target, fallthrough, true_outcome, is_cond, token) = {
+            let e = self.rob.get(slot).expect("entry exists");
+            let ctrl = e.ctrl.as_ref().expect("ctrl entry");
+            (
+                e.seq,
+                ctrl.followed_taken,
+                ctrl.followed_target,
+                e.pc.wrapping_add(INST_BYTES),
+                e.out.control.expect("control outcome"),
+                e.inst.op.class() == OpClass::Branch,
+                ctrl.bp_token,
+            )
+        };
+        {
+            let e = self.rob.get_mut(slot).expect("entry exists");
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            ctrl.acted_count = e.exec_count;
+        }
+
+        let followed_next = if followed_taken {
+            followed_target
+        } else {
+            fallthrough
+        };
+        let computed_next = if taken { target } else { fallthrough };
+        let mispredicted = computed_next != followed_next;
+
+        if mispredicted {
+            let true_next = if true_outcome.taken {
+                true_outcome.target
+            } else {
+                fallthrough
+            };
+            let spurious = computed_next != true_next;
+            let bp_fix = if is_cond { Some((token, taken)) } else { None };
+            self.squash_to(seq, computed_next, spurious, bp_fix);
+            let e = self.rob.get_mut(slot).expect("entry exists");
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            ctrl.followed_taken = taken;
+            ctrl.followed_target = if taken { target } else { followed_target };
+        }
+
+        if is_final {
+            let e = self.rob.get_mut(slot).expect("entry exists");
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            ctrl.resolved = true;
+            ctrl.resolve_cycle = self.now;
+            self.checkpoints.remove(&seq);
+        }
+        mispredicted
+    }
+
+    /// Squashes everything younger than `seq` and redirects fetch.
+    fn squash_to(
+        &mut self,
+        seq: u64,
+        next_pc: u64,
+        spurious: bool,
+        bp_fix: Option<(u64, bool)>,
+    ) {
+        self.stats.squashes += 1;
+        if spurious {
+            self.stats.spurious_squashes += 1;
+        }
+
+        // Discard younger instructions.
+        let dropped = self.rob.squash_after(seq);
+        for d in &dropped {
+            if let Some(t) = self.trace.as_mut() {
+                t.on_squash(d.seq, self.now);
+            }
+            if d.exec_count > 0 {
+                self.stats.squashed_executed += 1;
+            }
+            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), d.rb_entry) {
+                rb.flag(entry);
+            }
+            // A squashed store never becomes architectural, but loads on
+            // its path may have captured its (forwarded) value into the
+            // reuse buffer — invalidate those entries.
+            if let (Some(rb), Some(m)) = (self.rb.as_mut(), d.mem.as_ref()) {
+                if !m.is_load {
+                    if let Some(addr) = d.out.addr {
+                        rb.on_store(addr, m.width);
+                    }
+                }
+            }
+            if d.ctrl.is_some() {
+                self.checkpoints.remove(&d.seq);
+            }
+        }
+
+        // Restore rename map and RAS from the squashing branch's
+        // checkpoint (direct jumps never squash, so one always exists).
+        if let Some(cp) = self.checkpoints.get(&seq) {
+            self.map = cp.map.clone();
+            self.ras.restore(cp.ras.clone());
+        }
+
+        // Repair the speculative gshare history.
+        if let Some((token, taken)) = bp_fix {
+            self.bp.recover(token, taken);
+        }
+
+        // Roll back speculative architectural state and restart fetch.
+        self.spec.rollback_to(seq);
+        self.fetch_queue.clear();
+        self.fetch_pc = next_pc;
+        self.fetch_halted = false;
+        self.fetch_stalled_until = self.now + 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Memory access (loads).
+    // ----------------------------------------------------------------
+
+    fn memory_access(&mut self) {
+        let slots: Vec<usize> = self.rob.slots_in_order().collect();
+        for slot in slots {
+            let Some(e) = self.rob.get(slot) else { continue };
+            let Some(mem) = &e.mem else { continue };
+            if !mem.is_load || e.reused || mem.access_finish.is_some() {
+                continue;
+            }
+            // Which address can we access with?
+            let desired = match (mem.computed_addr, e.addr_predicted) {
+                (Some(a), _) => Some(a),
+                (None, Some(p)) => Some(p),
+                (None, None) => None,
+            };
+            let Some(addr) = desired else { continue };
+            let width = mem.width;
+            let seq = e.seq;
+
+            // All older store addresses must be known; matching older
+            // stores forward their data.
+            let mut blocked = false;
+            let mut forward = false;
+            for s2 in self.rob.slots_in_order() {
+                let Some(older) = self.rob.get(s2) else { continue };
+                if older.seq >= seq {
+                    break;
+                }
+                let Some(om) = &older.mem else { continue };
+                if om.is_load {
+                    continue;
+                }
+                let Some(oaddr) = om.computed_addr else {
+                    blocked = true;
+                    break;
+                };
+                if om.addr_known.is_none() {
+                    blocked = true;
+                    break;
+                }
+                let o_end = oaddr + om.width.bytes();
+                let l_end = addr + width.bytes();
+                let overlap = oaddr < l_end && addr < o_end;
+                if overlap {
+                    let covers = oaddr <= addr && o_end >= l_end;
+                    if covers {
+                        forward = true; // youngest-older wins; keep scanning
+                    } else {
+                        blocked = true;
+                        break;
+                    }
+                }
+            }
+            if blocked {
+                continue;
+            }
+
+            let finish = if forward {
+                self.now + 1
+            } else {
+                self.stats.port_requests += 1;
+                if !self.dports.request(self.now) {
+                    self.stats.port_denials += 1;
+                    continue;
+                }
+                self.dcache.access(self.now, addr, false).ready_cycle
+            };
+
+            let value = {
+                let e = self.rob.get(slot).expect("entry exists");
+                if Some(addr) == e.out.addr {
+                    e.out.result.unwrap_or(0)
+                } else {
+                    // Wrong (predicted or value-speculative) address:
+                    // the load observes whatever is there.
+                    self.spec.mem().load(addr, width)
+                }
+            };
+            let vl = self.verify_latency();
+            let e = self.rob.get_mut(slot).expect("entry exists");
+            let mem = e.mem.as_mut().expect("mem state");
+            mem.access_finish = Some(finish);
+            mem.accessed_addr = Some(addr);
+            match e.visible {
+                Some(v) if v.value == value => {}
+                _ => {
+                    e.visible = Some(VisibleValue {
+                        value,
+                        since: finish,
+                    });
+                }
+            }
+            // Finality: correct address from final inputs and no pending
+            // result prediction conflict.
+            let addr_final = (e.addr_reused
+                || (mem.addr_known.is_some() && e.last_inputs_final))
+                && Some(addr) == e.out.addr;
+            if addr_final {
+                let was_predicted = e.predicted.is_some();
+                let correct = e.predicted == e.out.result;
+                if was_predicted && !correct {
+                    e.visible = Some(VisibleValue {
+                        value,
+                        since: finish + vl,
+                    });
+                    e.nonspec_cycle = Some(finish + vl);
+                } else if was_predicted {
+                    e.nonspec_cycle = Some(finish + vl);
+                } else {
+                    e.nonspec_cycle = Some(finish);
+                }
+            }
+            // Record the completed load in the reuse buffer.
+            if Some(addr) == e.out.addr && e.last_inputs_correct {
+                self.record_in_rb(slot);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Issue.
+    // ----------------------------------------------------------------
+
+    fn input_view(&self, e: &RobEntry, i: usize) -> Option<u64> {
+        match e.producers[i] {
+            None => e.src_values[i],
+            Some((slot, seq)) => match self.rob.get(slot) {
+                Some(p) if p.seq == seq => p.value_visible(self.now),
+                _ => e.src_values[i], // producer committed
+            },
+        }
+    }
+
+    fn needs_exec(&self, e: &RobEntry) -> bool {
+        if e.exec.is_some() || e.reused {
+            return false;
+        }
+        match e.inst.op.class() {
+            OpClass::Misc | OpClass::Jump => return false,
+            _ => {}
+        }
+        if let Some(mem) = &e.mem {
+            // Memory ops execute address generation once per new input set.
+            if e.addr_reused && mem.computed_addr.is_some() {
+                return false;
+            }
+        }
+        if e.exec_count == 0 {
+            return true;
+        }
+        if e.last_inputs_correct {
+            return false;
+        }
+        match self.reexecution() {
+            Reexecution::Me => {
+                // Re-execute when any input value changed.
+                (0..2).any(|i| {
+                    let cur = self.input_view(e, i);
+                    e.inst_src(i).is_some() && cur.is_some() && cur != e.last_inputs[i]
+                })
+            }
+            Reexecution::Nme => self.inputs_final_now(e),
+        }
+    }
+
+    fn reexecution(&self) -> Reexecution {
+        match &self.config.enhancement {
+            Enhancement::Vp(vp) | Enhancement::Hybrid(vp, _) => vp.reexecution,
+            _ => Reexecution::Me, // irrelevant without value speculation
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let slots: Vec<usize> = self.rob.slots_in_order().collect();
+        for slot in slots {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            let Some(e) = self.rob.get(slot) else { continue };
+            if self.now <= e.dispatch_cycle || !self.needs_exec(e) {
+                continue;
+            }
+            // Gather input operands (stores need only the base register
+            // for address generation).
+            let is_store = e.mem.as_ref().is_some_and(|m| !m.is_load);
+            let mut inputs = [None, None];
+            let mut ready = true;
+            #[allow(clippy::needless_range_loop)] // i also names the operand
+            for i in 0..2 {
+                if e.inst_src(i).is_none() {
+                    continue;
+                }
+                if is_store && i == 1 {
+                    continue; // store data not needed for address gen
+                }
+                match self.input_view(e, i) {
+                    Some(v) => inputs[i] = Some(v),
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if !ready {
+                continue;
+            }
+            let op = e.inst.op;
+            if !self.fus.try_issue(self.now, op) {
+                continue; // contention: counted by the pool
+            }
+            let latency = op.latency().0 as u64;
+            let inputs_correct = (0..2).all(|i| {
+                if is_store && i == 1 {
+                    true
+                } else {
+                    e.inst_src(i).is_none() || inputs[i] == e.src_values[i]
+                }
+            });
+            let inputs_final = {
+                let mut fin = true;
+                for i in 0..2 {
+                    if e.inst_src(i).is_none() || (is_store && i == 1) {
+                        continue;
+                    }
+                    if let Some((pslot, pseq)) = e.producers[i] {
+                        if let Some(p) = self.rob.get(pslot) {
+                            if p.seq == pseq && !p.nonspec(self.now) {
+                                fin = false;
+                            }
+                        }
+                    }
+                }
+                fin
+            };
+            let e = self.rob.get_mut(slot).expect("entry exists");
+            e.exec = Some(PendingExec {
+                finish: self.now + latency,
+                inputs,
+                inputs_correct,
+                inputs_final,
+            });
+            let seq = e.seq;
+            if let Some(t) = self.trace.as_mut() {
+                t.on_issue(seq, self.now);
+            }
+            issued += 1;
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch (decode + rename + functional execution).
+    // ----------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.decode_width {
+            if self.rob.is_full() {
+                break;
+            }
+            let Some(f) = self.fetch_queue.front() else { break };
+            let needs_checkpoint = matches!(
+                f.inst.op.class(),
+                OpClass::Branch | OpClass::JumpReg
+            );
+            if needs_checkpoint && self.checkpoints.len() >= self.config.max_branches {
+                break;
+            }
+            let f = self.fetch_queue.pop_front().expect("peeked");
+            let redirected = self.dispatch_one(f);
+            if self.halted || redirected {
+                break;
+            }
+        }
+    }
+
+    /// Dispatches one instruction; returns `true` if a reused branch
+    /// resolved against the followed path and redirected fetch.
+    fn dispatch_one(&mut self, f: FetchedInst) -> bool {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.dispatched += 1;
+        let inst = f.inst;
+        let pc = f.pc;
+
+        // Record operand sources before applying our own write.
+        let mut src_values = [None, None];
+        let mut producers = [None, None];
+        for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
+            let Some(reg) = src else { continue };
+            src_values[i] = Some(self.spec.regs().read(reg));
+            if let Some((slot, pseq)) = self.map[reg.index()] {
+                if self
+                    .rob
+                    .get(slot)
+                    .is_some_and(|p| p.seq == pseq)
+                {
+                    producers[i] = Some((slot, pseq));
+                }
+            }
+        }
+
+        // Functional execution on the speculative (fetched-path) state.
+        let out = execute(&inst, pc, |r| self.spec.regs().read(r), self.spec.mem());
+        if let (Some(dst), Some(v)) = (inst.dst, out.result) {
+            self.spec.write_reg(seq, dst, v);
+        }
+        if let Some(acc) = out.store_access(&inst) {
+            self.spec.write_mem(seq, acc.addr, acc.width, acc.value);
+        }
+
+        let mut entry = RobEntry {
+            seq,
+            pc,
+            inst,
+            dispatch_cycle: self.now,
+            out,
+            src_values,
+            producers,
+            visible: None,
+            nonspec_cycle: None,
+            exec: None,
+            exec_count: 0,
+            last_inputs: [None, None],
+            last_inputs_correct: false,
+            last_inputs_final: false,
+            computed_ctrl: None,
+            predicted: None,
+            addr_predicted: None,
+            reused: false,
+            addr_reused: false,
+            late_reused: false,
+            reuse_source: None,
+            rb_entry: None,
+            ctrl: None,
+            mem: None,
+        };
+
+        // Class-specific initialisation.
+        match inst.op.class() {
+            OpClass::Misc => {
+                entry.nonspec_cycle = Some(self.now + 1);
+            }
+            OpClass::Jump => {
+                // Direct jumps never mispredict; `jal`'s link value is
+                // known at decode.
+                entry.nonspec_cycle = Some(self.now + 1);
+                if let Some(link) = out.result {
+                    entry.visible = Some(VisibleValue {
+                        value: link,
+                        since: self.now + 1,
+                    });
+                }
+            }
+            OpClass::Load | OpClass::Store => {
+                entry.mem = Some(MemState {
+                    is_load: inst.op.class() == OpClass::Load,
+                    width: inst.op.mem_width().expect("memory width"),
+                    addr_known: None,
+                    computed_addr: None,
+                    access_finish: None,
+                    accessed_addr: None,
+                });
+            }
+            _ => {}
+        }
+
+        // Control state + checkpoint.
+        if matches!(inst.op.class(), OpClass::Branch | OpClass::JumpReg) {
+            let pred = f.pred.as_ref().expect("control insts carry predictions");
+            self.checkpoints.insert(
+                seq,
+                Checkpoint {
+                    map: self.map.clone(),
+                    ras: pred.ras_snapshot.clone(),
+                },
+            );
+            entry.ctrl = Some(CtrlState {
+                followed_taken: pred.taken,
+                followed_target: pred.target,
+                original_taken: pred.taken,
+                original_target: pred.target,
+                bp_token: pred.token,
+                used_ras: pred.used_ras,
+                resolved: false,
+                resolve_cycle: 0,
+                acted_count: 0,
+            });
+        } else if inst.op.class() == OpClass::Jump {
+            let target = out.control.expect("jump target").target;
+            entry.ctrl = Some(CtrlState {
+                followed_taken: true,
+                followed_target: target,
+                original_taken: true,
+                original_target: target,
+                bp_token: 0,
+                used_ras: false,
+                resolved: true,
+                resolve_cycle: self.now,
+                acted_count: 0,
+            });
+        }
+
+        // Enhancement hooks.
+        match self.config.enhancement {
+            Enhancement::Vp(_) => self.dispatch_vp(&mut entry),
+            Enhancement::Ir(ir) => self.dispatch_ir(&mut entry, ir.validation),
+            Enhancement::Hybrid(_, ir) => {
+                // Reuse first (non-speculative); predict only what missed.
+                self.dispatch_ir(&mut entry, ir.validation);
+                if !entry.reused {
+                    self.dispatch_vp(&mut entry);
+                }
+            }
+            Enhancement::None => {}
+        }
+
+        if let Some(t) = self.trace.as_mut() {
+            t.on_dispatch(seq, pc, inst, self.now);
+            if entry.reused {
+                t.on_outcome(seq, TraceOutcome::Reused);
+            } else if entry.predicted.is_some() || entry.addr_predicted.is_some() {
+                t.on_outcome(seq, TraceOutcome::Predicted);
+            } else if entry.addr_reused {
+                t.on_outcome(seq, TraceOutcome::AddrReused);
+            }
+        }
+        let reused_branch = entry.reused && entry.ctrl.is_some();
+        let slot = self.rob.push(entry);
+        if let Some(dst) = inst.dst {
+            if !dst.is_zero() {
+                self.map[dst.index()] = Some((slot, seq));
+            }
+        }
+        if inst.op == Op::Halt {
+            self.fetch_halted = true;
+        }
+        // Early validation: a reused branch resolves *at decode*, with
+        // zero resolution latency (Figure 4's reuse bars).
+        if reused_branch {
+            let (taken, target) = self
+                .rob
+                .get(slot)
+                .and_then(|e| e.computed_ctrl)
+                .expect("reused branch has an outcome");
+            return self.act_on_branch(slot, taken, target, true);
+        }
+        false
+    }
+
+    fn dispatch_vp(&mut self, entry: &mut RobEntry) {
+        let op = entry.inst.op;
+        // Results: every register-writing, non-control instruction
+        // (including loads — load value prediction).
+        let predictable = entry.inst.dst.is_some()
+            && entry.out.result.is_some()
+            && !matches!(op.class(), OpClass::Jump | OpClass::JumpReg | OpClass::Misc);
+        if predictable {
+            if let Some(vp) = self.vp_result.as_mut() {
+                entry.predicted = vp.predict(entry.pc, entry.out.result);
+            }
+            if let Some(p) = entry.predicted {
+                entry.visible = Some(VisibleValue {
+                    value: p,
+                    since: self.now + 1,
+                });
+            }
+        }
+        // Addresses: loads whose result was not predicted and whose
+        // address did not already come from the reuse buffer.
+        if entry.mem.as_ref().is_some_and(|m| m.is_load)
+            && entry.predicted.is_none()
+            && !entry.addr_reused
+        {
+            if let Some(vp) = self.vp_addr.as_mut() {
+                entry.addr_predicted = vp.predict(entry.pc, entry.out.addr);
+            }
+        }
+    }
+
+    fn dispatch_ir(&mut self, entry: &mut RobEntry, validation: Validation) {
+        let op = entry.inst.op;
+        match op.class() {
+            OpClass::Misc | OpClass::Jump => return,
+            _ => {}
+        }
+        // Build the operand view against current pipeline state.
+        let mut views: [(Option<Reg>, OperandView); 2] = [(None, OperandView::default()); 2];
+        for (i, src) in [entry.inst.src1, entry.inst.src2].into_iter().enumerate() {
+            let Some(reg) = src else { continue };
+            let view = match entry.producers[i] {
+                None => OperandView::settled(entry.src_values[i].expect("read at dispatch")),
+                Some((slot, pseq)) => match self.rob.get(slot) {
+                    Some(p) if p.seq == pseq => {
+                        let known = p.reused || p.nonspec(self.now);
+                        if known {
+                            OperandView::in_flight_known(
+                                p.pc,
+                                p.out.result.unwrap_or(0),
+                            )
+                        } else {
+                            OperandView::in_flight(p.pc)
+                        }
+                    }
+                    _ => OperandView::settled(entry.src_values[i].expect("read at dispatch")),
+                },
+            };
+            views[i] = (Some(reg), view);
+        }
+        let lookup_view = move |r: Reg| {
+            for (reg, v) in views.iter() {
+                if *reg == Some(r) {
+                    return *v;
+                }
+            }
+            OperandView::default()
+        };
+
+        // Dependence pointers of producers reused in this decode group
+        // (their entries enable same-cycle chain reuse under SnD).
+        let reused_now: Vec<vpir_reuse::EntryRef> = entry
+            .producers
+            .iter()
+            .flatten()
+            .filter_map(|(slot, pseq)| {
+                self.rob.get(*slot).and_then(|p| {
+                    if p.seq == *pseq && p.reused {
+                        p.reuse_source
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+
+        let rb = self.rb.as_mut().expect("IR has a reuse buffer");
+        let Some(mut hit) = rb.lookup(entry.pc, op, &lookup_view, &reused_now) else {
+            return;
+        };
+
+        // A reused load must still snoop older in-flight stores: if one
+        // overlaps its address, the buffered value may be stale relative
+        // to this path — only the address computation is reusable.
+        if hit.full && op.class() == OpClass::Load {
+            let laddr = entry.out.addr.expect("load address");
+            let lend = laddr + entry.mem.as_ref().expect("mem state").width.bytes();
+            let conflict = self.rob.slots_in_order().any(|s| {
+                self.rob.get(s).is_some_and(|older| {
+                    older.mem.as_ref().is_some_and(|m| {
+                        if m.is_load {
+                            return false;
+                        }
+                        let Some(a) = older.out.addr else { return false };
+                        a < lend && laddr < a + m.width.bytes()
+                    })
+                })
+            });
+            if conflict {
+                hit.full = false;
+                hit.result = None;
+            }
+        }
+
+        // Guard: the reuse test is non-speculative, so a hit must agree
+        // with the architectural truth for this dynamic instance.
+        let sound = match op.class() {
+            OpClass::Branch => {
+                hit.result == entry.out.control.map(|c| c.taken as u64)
+            }
+            OpClass::JumpReg => hit.result == entry.out.control.map(|c| c.target),
+            OpClass::Load | OpClass::Store => {
+                (!hit.full || hit.result == entry.out.result)
+                    && (hit.addr.is_none() || hit.addr == entry.out.addr)
+            }
+            _ => !hit.full || hit.result == entry.out.result,
+        };
+        debug_assert!(sound, "reuse test returned a wrong result for {:?}", entry.inst);
+        if !sound {
+            return;
+        }
+
+        entry.reuse_source = Some(hit.entry);
+        match validation {
+            Validation::Early => {
+                if hit.full {
+                    entry.reused = true;
+                    entry.nonspec_cycle = Some(self.now + 1);
+                    if let Some(v) = entry.out.result {
+                        entry.visible = Some(VisibleValue {
+                            value: v,
+                            since: self.now + 1,
+                        });
+                    }
+                    // A reused branch resolves immediately at decode
+                    // (early validation); `dispatch_one` acts on it.
+                    if entry.ctrl.is_some() {
+                        entry.computed_ctrl =
+                            entry.out.control.map(|c| (c.taken, c.target));
+                        entry.last_inputs_correct = true;
+                        entry.last_inputs_final = true;
+                    }
+                } else if hit.addr.is_some() {
+                    entry.addr_reused = true;
+                    if let Some(mem) = entry.mem.as_mut() {
+                        mem.computed_addr = hit.addr;
+                        mem.addr_known = Some(self.now + 1);
+                    }
+                    if entry.mem.as_ref().is_some_and(|m| !m.is_load) {
+                        // Stores: the address half is done.
+                        entry.nonspec_cycle = Some(self.now + 1);
+                        entry.last_inputs_correct = true;
+                        entry.last_inputs_final = true;
+                    } else {
+                        entry.last_inputs_final = true;
+                        entry.last_inputs_correct = true;
+                    }
+                }
+            }
+            Validation::Late => {
+                // Figure 3 "late": treat the reuse as a (always correct)
+                // value prediction — the instruction still executes.
+                if hit.full {
+                    if let Some(v) = entry.out.result {
+                        entry.predicted = Some(v);
+                        entry.visible = Some(VisibleValue {
+                            value: v,
+                            since: self.now + 1,
+                        });
+                    }
+                    entry.reused = false;
+                    entry.late_reused = true;
+                } else if hit.addr.is_some() {
+                    entry.addr_predicted = hit.addr;
+                    entry.late_reused = true;
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch.
+    // ----------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.now < self.fetch_stalled_until {
+            return;
+        }
+        if self.fetch_queue.len() >= 2 * self.config.fetch_width {
+            return;
+        }
+        let mut pc = self.fetch_pc;
+        let line = pc / self.config.fetch_line_bytes;
+
+        // One instruction-cache access per fetch cycle.
+        let outcome = self.icache.access(self.now, pc, false);
+        if !outcome.hit {
+            self.fetch_stalled_until = outcome.ready_cycle;
+            return;
+        }
+
+        for _ in 0..self.config.fetch_width {
+            if pc / self.config.fetch_line_bytes != line {
+                break; // cannot fetch across a cache-line boundary
+            }
+            let Some(&inst) = self.program.inst_at(pc) else {
+                // Fell off the text segment (wrong path): wait for squash.
+                self.fetch_halted = true;
+                break;
+            };
+            let mut pred = None;
+            let mut taken = false;
+            let mut target = 0;
+            match inst.op.class() {
+                OpClass::Branch => {
+                    let (t, token) = self.bp.predict(pc);
+                    taken = t;
+                    target = inst.target();
+                    pred = Some(FetchPred {
+                        taken,
+                        target,
+                        token,
+                        used_ras: false,
+                        ras_snapshot: self.ras.checkpoint(),
+                    });
+                }
+                OpClass::Jump => {
+                    taken = true;
+                    target = inst.target();
+                    if inst.op == Op::Jal {
+                        self.ras.push(pc + INST_BYTES);
+                    }
+                }
+                OpClass::JumpReg => {
+                    taken = true;
+                    let mut used_ras = false;
+                    target = if inst.is_return() {
+                        used_ras = true;
+                        self.ras.pop().unwrap_or(pc + INST_BYTES)
+                    } else {
+                        self.targets.predict(pc).unwrap_or(pc + INST_BYTES)
+                    };
+                    if inst.op == Op::Jalr {
+                        self.ras.push(pc + INST_BYTES);
+                    }
+                    pred = Some(FetchPred {
+                        taken,
+                        target,
+                        token: 0,
+                        used_ras,
+                        ras_snapshot: self.ras.checkpoint(),
+                    });
+                }
+                _ => {}
+            }
+
+            self.fetch_queue.push_back(FetchedInst { pc, inst, pred });
+            if inst.op == Op::Halt {
+                self.fetch_halted = true;
+                break;
+            }
+            if inst.op.is_control() && taken {
+                pc = target;
+                self.fetch_pc = pc;
+                return; // only one taken branch per cycle
+            }
+            pc += INST_BYTES;
+        }
+        self.fetch_pc = pc;
+    }
+}
+
+impl RobEntry {
+    fn inst_src(&self, i: usize) -> Option<Reg> {
+        match i {
+            0 => self.inst.src1,
+            _ => self.inst.src2,
+        }
+    }
+}

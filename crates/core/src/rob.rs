@@ -1,0 +1,391 @@
+//! The reorder buffer.
+//!
+//! Entries hold both the *architectural truth* for their dynamic instance
+//! (computed functionally at dispatch) and the *timing state* of the
+//! value as consumers see it — including a possibly wrong,
+//! value-speculative visible value. The Table 1 machine's 32-entry LSQ is
+//! as large as the ROB, so load/store ordering is resolved by walking
+//! older ROB entries rather than by a separate capacity-limited queue
+//! (the LSQ can never be the binding constraint; see DESIGN.md).
+
+use vpir_isa::{ExecOut, Inst, MemWidth};
+use vpir_reuse::EntryRef;
+
+/// A value as consumers currently see it (may be speculative or wrong).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisibleValue {
+    /// The value.
+    pub value: u64,
+    /// First cycle consumers may issue using it.
+    pub since: u64,
+}
+
+/// An execution in flight on a functional unit.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingExec {
+    /// Cycle the result becomes visible.
+    pub finish: u64,
+    /// Visible input values consumed at issue.
+    pub inputs: [Option<u64>; 2],
+    /// Whether those inputs equal the architecturally correct ones.
+    pub inputs_correct: bool,
+    /// Whether every input was non-value-speculative at issue.
+    pub inputs_final: bool,
+}
+
+/// Control-transfer state for branches and jumps.
+#[derive(Debug, Clone)]
+pub struct CtrlState {
+    /// Direction the front end currently follows (rewritten on squash).
+    pub followed_taken: bool,
+    /// Target the front end currently follows when taken.
+    pub followed_target: u64,
+    /// The original fetch-time direction (for prediction-rate stats).
+    pub original_taken: bool,
+    /// The original fetch-time target (for return-prediction stats).
+    pub original_target: u64,
+    /// Direction-predictor token (gshare history snapshot).
+    pub bp_token: u64,
+    /// Whether the fetch-time prediction came from the RAS.
+    pub used_ras: bool,
+    /// Whether the branch has been finally resolved.
+    pub resolved: bool,
+    /// Cycle of final resolution (valid when `resolved`).
+    pub resolve_cycle: u64,
+    /// `exec_count` at the last resolution action (SB re-acts on each
+    /// new execution).
+    pub acted_count: u32,
+}
+
+/// Memory state for loads and stores.
+#[derive(Debug, Clone, Copy)]
+pub struct MemState {
+    /// Load (true) or store (false).
+    pub is_load: bool,
+    /// Access width.
+    pub width: MemWidth,
+    /// Cycle the *correct* effective address became known; `None` until
+    /// address generation completes with correct inputs (or the address
+    /// was reused).
+    pub addr_known: Option<u64>,
+    /// The address produced by the most recent address generation (may
+    /// be wrong under value speculation).
+    pub computed_addr: Option<u64>,
+    /// For loads: in-flight memory access completing at this cycle.
+    pub access_finish: Option<u64>,
+    /// For loads: the address the in-flight/completed access used
+    /// (detects wrong-address-prediction accesses).
+    pub accessed_addr: Option<u64>,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global dynamic sequence number (age).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Dispatch cycle.
+    pub dispatch_cycle: u64,
+    /// Architectural outputs for this dynamic instance (dispatch-time
+    /// functional execution on the *current path*).
+    pub out: ExecOut,
+    /// Architecturally correct source-operand values.
+    pub src_values: [Option<u64>; 2],
+    /// In-flight producers at dispatch: `(rob slot, seq)` per operand;
+    /// `None` means the operand came from the architected register file.
+    pub producers: [Option<(usize, u64)>; 2],
+
+    /// The value consumers currently see, if any.
+    pub visible: Option<VisibleValue>,
+    /// Cycle from which the value is final *and* verified (non-spec).
+    pub nonspec_cycle: Option<u64>,
+    /// Execution in flight, if any.
+    pub exec: Option<PendingExec>,
+    /// Completed execution events.
+    pub exec_count: u32,
+    /// Inputs consumed by the most recent completed execution.
+    pub last_inputs: [Option<u64>; 2],
+    /// Whether the most recent completed execution used correct inputs.
+    pub last_inputs_correct: bool,
+    /// Whether the most recent completed execution used final inputs.
+    pub last_inputs_final: bool,
+
+    /// Control outcome computed by the most recent execution (or by the
+    /// reuse test), from possibly wrong inputs: `(taken, target)`.
+    pub computed_ctrl: Option<(bool, u64)>,
+
+    /// VP: predicted result value, if a prediction was made.
+    pub predicted: Option<u64>,
+    /// VP: predicted effective address (loads).
+    pub addr_predicted: Option<u64>,
+
+    /// IR: full result reused at decode.
+    pub reused: bool,
+    /// IR: address (only) reused at decode.
+    pub addr_reused: bool,
+    /// IR (late validation): reuse treated as a correct prediction.
+    pub late_reused: bool,
+    /// IR: the RB entry the reuse test hit.
+    pub reuse_source: Option<EntryRef>,
+    /// IR: RB entry this instruction wrote or refreshed (dependence ptr).
+    pub rb_entry: Option<EntryRef>,
+
+    /// Control state for branches/jumps.
+    pub ctrl: Option<CtrlState>,
+    /// Memory state for loads/stores.
+    pub mem: Option<MemState>,
+}
+
+impl RobEntry {
+    /// Whether the entry's correct result value is visible to consumers
+    /// at `cycle` (it may still be speculative).
+    pub fn value_visible(&self, cycle: u64) -> Option<u64> {
+        match self.visible {
+            Some(v) if v.since <= cycle => Some(v.value),
+            _ => None,
+        }
+    }
+
+    /// Whether the entry is non-value-speculative at `cycle`.
+    pub fn nonspec(&self, cycle: u64) -> bool {
+        self.nonspec_cycle.is_some_and(|c| c <= cycle)
+    }
+
+    /// Whether the visible value equals the architectural result.
+    pub fn visible_correct(&self) -> bool {
+        match (self.visible, self.out.result) {
+            (Some(v), Some(r)) => v.value == r,
+            (None, _) => false,
+            (Some(_), None) => true, // no register result to be wrong about
+        }
+    }
+
+    /// Whether this instruction writes a register.
+    pub fn writes_reg(&self) -> bool {
+        self.inst.dst.is_some() && self.out.result.is_some()
+    }
+}
+
+/// A fixed-capacity circular reorder buffer.
+#[derive(Debug)]
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Rob {
+        assert!(capacity > 0, "ROB capacity must be positive");
+        Rob {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the ROB is full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates a slot at the tail; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full.
+    pub fn push(&mut self, entry: RobEntry) -> usize {
+        assert!(!self.is_full(), "ROB overflow");
+        let idx = (self.head + self.len) % self.slots.len();
+        self.slots[idx] = Some(entry);
+        self.len += 1;
+        idx
+    }
+
+    /// The oldest entry, if any.
+    pub fn front(&self) -> Option<&RobEntry> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_front(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        e
+    }
+
+    /// Entry at `slot`, if occupied.
+    pub fn get(&self, slot: usize) -> Option<&RobEntry> {
+        self.slots[slot].as_ref()
+    }
+
+    /// Mutable entry at `slot`, if occupied.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut RobEntry> {
+        self.slots[slot].as_mut()
+    }
+
+    /// Slot indices in age order (oldest first).
+    pub fn slots_in_order(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).map(move |i| (self.head + i) % self.slots.len())
+    }
+
+    /// Discards every entry younger than `seq`, returning the discarded
+    /// entries youngest-last.
+    pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
+        let mut dropped = Vec::new();
+        while self.len > 0 {
+            let tail = (self.head + self.len - 1) % self.slots.len();
+            let victim = match &self.slots[tail] {
+                Some(e) if e.seq > seq => self.slots[tail].take().expect("occupied"),
+                _ => break,
+            };
+            dropped.push(victim);
+            self.len -= 1;
+        }
+        dropped.reverse();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpir_isa::Inst;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            pc: 0x1000 + seq * 4,
+            inst: Inst::NOP,
+            dispatch_cycle: 0,
+            out: ExecOut::default(),
+            src_values: [None, None],
+            producers: [None, None],
+            visible: None,
+            nonspec_cycle: None,
+            exec: None,
+            exec_count: 0,
+            last_inputs: [None, None],
+            last_inputs_correct: false,
+            last_inputs_final: false,
+            computed_ctrl: None,
+            predicted: None,
+            addr_predicted: None,
+            reused: false,
+            addr_reused: false,
+            late_reused: false,
+            reuse_source: None,
+            rb_entry: None,
+            ctrl: None,
+            mem: None,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        let a = rob.push(entry(1));
+        let b = rob.push(entry(2));
+        assert_ne!(a, b);
+        assert_eq!(rob.front().unwrap().seq, 1);
+        assert_eq!(rob.pop_front().unwrap().seq, 1);
+        assert_eq!(rob.pop_front().unwrap().seq, 2);
+        assert!(rob.pop_front().is_none());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut rob = Rob::new(3);
+        for seq in 1..=3 {
+            rob.push(entry(seq));
+        }
+        assert!(rob.is_full());
+        rob.pop_front();
+        let idx = rob.push(entry(4));
+        assert_eq!(idx, 0, "reuses the freed slot");
+        let seqs: Vec<u64> = rob
+            .slots_in_order()
+            .map(|s| rob.get(s).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn squash_drops_younger_only() {
+        let mut rob = Rob::new(8);
+        for seq in 1..=6 {
+            rob.push(entry(seq));
+        }
+        let dropped = rob.squash_after(3);
+        assert_eq!(dropped.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(rob.len(), 3);
+        // New entries can be pushed after the squash.
+        rob.push(entry(7));
+        let seqs: Vec<u64> = rob
+            .slots_in_order()
+            .map(|s| rob.get(s).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn squash_everything() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5));
+        rob.push(entry(6));
+        let dropped = rob.squash_after(0);
+        assert_eq!(dropped.len(), 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn visible_value_timing() {
+        let mut e = entry(1);
+        e.visible = Some(VisibleValue { value: 42, since: 10 });
+        assert_eq!(e.value_visible(9), None);
+        assert_eq!(e.value_visible(10), Some(42));
+        assert!(!e.nonspec(100));
+        e.nonspec_cycle = Some(12);
+        assert!(!e.nonspec(11));
+        assert!(e.nonspec(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(1));
+        rob.push(entry(2));
+    }
+}

@@ -1,0 +1,265 @@
+//! The functional (architectural) interpreter.
+//!
+//! [`Machine`] executes a [`Program`] one instruction at a time with no
+//! timing model. It is the golden model the pipeline is differentially
+//! tested against, and the engine behind the Section 4.3 redundancy limit
+//! study (which only needs the dynamic instruction stream).
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::mem_image::MemImage;
+use crate::program::{Program, STACK_TOP};
+use crate::reg::{Reg, RegFile};
+use crate::semantics::{execute, ExecOut};
+
+/// Everything observable about one dynamic instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct StepEvent {
+    /// Address of the executed instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Its execution outputs (result, address, branch outcome, ...).
+    pub out: ExecOut,
+    /// The next program counter.
+    pub next_pc: u64,
+}
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The program counter left the text segment.
+    InvalidPc(u64),
+    /// `step` was called on a halted machine.
+    Halted,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidPc(pc) => write!(f, "program counter {pc:#x} outside text"),
+            MachineError::Halted => write!(f, "machine is halted"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A functional simulator over a program.
+///
+/// # Examples
+///
+/// ```
+/// use vpir_isa::{Inst, Machine, Op, Program, Reg};
+/// let prog = Program::from_insts(vec![
+///     Inst::rri(Op::Addi, Reg::int(1), Reg::ZERO, 21),
+///     Inst::rrr(Op::Add, Reg::int(1), Reg::int(1), Reg::int(1)),
+///     Inst::HALT,
+/// ]);
+/// let mut m = Machine::new(&prog);
+/// m.run(100).unwrap();
+/// assert_eq!(m.regs.read(Reg::int(1)), 42);
+/// assert!(m.halted);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Architectural register file.
+    pub regs: RegFile,
+    /// Architectural memory.
+    pub mem: MemImage,
+    /// Current program counter.
+    pub pc: u64,
+    /// Whether a `halt` has retired.
+    pub halted: bool,
+    /// Dynamic instructions executed.
+    pub icount: u64,
+    program: Program,
+}
+
+impl Machine {
+    /// Creates a machine with the program's data loaded and the stack
+    /// pointer initialised to [`STACK_TOP`].
+    pub fn new(program: &Program) -> Machine {
+        let mut mem = MemImage::new();
+        program.load_data(&mut mem);
+        let mut regs = RegFile::new();
+        regs.write(Reg::SP, STACK_TOP);
+        Machine {
+            regs,
+            mem,
+            pc: program.entry,
+            halted: false,
+            icount: 0,
+            program: program.clone(),
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Executes one instruction and applies its effects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Halted`] if the machine already halted and
+    /// [`MachineError::InvalidPc`] if `pc` leaves the text segment.
+    pub fn step(&mut self) -> Result<StepEvent, MachineError> {
+        if self.halted {
+            return Err(MachineError::Halted);
+        }
+        let pc = self.pc;
+        let inst = *self
+            .program
+            .inst_at(pc)
+            .ok_or(MachineError::InvalidPc(pc))?;
+        let out = execute(&inst, pc, |r| self.regs.read(r), &self.mem);
+        if let (Some(dst), Some(v)) = (inst.dst, out.result) {
+            self.regs.write(dst, v);
+        }
+        if let Some(acc) = out.store_access(&inst) {
+            self.mem.write(acc.addr, acc.width, acc.value);
+        }
+        let next_pc = out.next_pc(pc);
+        self.pc = next_pc;
+        self.halted = out.halt;
+        self.icount += 1;
+        Ok(StepEvent {
+            pc,
+            inst,
+            out,
+            next_pc,
+        })
+    }
+
+    /// Runs until `halt` or until `max_insts` instructions have executed.
+    ///
+    /// Returns the number of instructions executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError::InvalidPc`]; running a halted machine
+    /// executes zero instructions and is not an error.
+    pub fn run(&mut self, max_insts: u64) -> Result<u64, MachineError> {
+        let mut n = 0;
+        while !self.halted && n < max_insts {
+            self.step()?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Runs like [`Machine::run`], invoking `observer` on every event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MachineError::InvalidPc`].
+    pub fn run_with<F>(&mut self, max_insts: u64, mut observer: F) -> Result<u64, MachineError>
+    where
+        F: FnMut(&StepEvent),
+    {
+        let mut n = 0;
+        while !self.halted && n < max_insts {
+            let ev = self.step()?;
+            observer(&ev);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn prog(insts: Vec<Inst>) -> Program {
+        Program::from_insts(insts)
+    }
+
+    #[test]
+    fn loop_executes_correct_count() {
+        // r1 = 10; do { r2 += r1; r1 -= 1 } while r1 != 0; halt
+        let base = crate::program::TEXT_BASE;
+        let p = prog(vec![
+            Inst::rri(Op::Addi, Reg::int(1), Reg::ZERO, 10),
+            Inst::rrr(Op::Add, Reg::int(2), Reg::int(2), Reg::int(1)),
+            Inst::rri(Op::Addi, Reg::int(1), Reg::int(1), -1),
+            Inst::branch2(Op::Bne, Reg::int(1), Reg::ZERO, base + 4),
+            Inst::HALT,
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(1000).unwrap();
+        assert!(m.halted);
+        assert_eq!(m.regs.read(Reg::int(2)), 55);
+        assert_eq!(m.icount, 1 + 3 * 10 + 1);
+    }
+
+    #[test]
+    fn memory_effects_apply() {
+        let p = prog(vec![
+            Inst::rri(Op::Addi, Reg::int(1), Reg::ZERO, 0x77),
+            Inst::store(Op::Sw, Reg::int(1), Reg::ZERO, 0x1_0000),
+            Inst::mem(Op::Lw, Reg::int(2), Reg::ZERO, 0x1_0000),
+            Inst::HALT,
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert_eq!(m.regs.read(Reg::int(2)), 0x77);
+        assert_eq!(m.mem.read_u32(0x1_0000), 0x77);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let base = crate::program::TEXT_BASE;
+        // 0: jal 3; 1: halt; 2: (skipped); 3: addi r5, r0, 9; 4: jr ra
+        let p = prog(vec![
+            Inst::jump(Op::Jal, base + 12),
+            Inst::HALT,
+            Inst::NOP,
+            Inst::rri(Op::Addi, Reg::int(5), Reg::ZERO, 9),
+            Inst::jump_reg(Op::Jr, None, Reg::RA),
+        ]);
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert!(m.halted);
+        assert_eq!(m.regs.read(Reg::int(5)), 9);
+        assert_eq!(m.icount, 4);
+    }
+
+    #[test]
+    fn invalid_pc_is_reported() {
+        let p = prog(vec![Inst::NOP]);
+        let mut m = Machine::new(&p);
+        m.step().unwrap();
+        assert!(matches!(m.step(), Err(MachineError::InvalidPc(_))));
+    }
+
+    #[test]
+    fn halted_machine_refuses_steps_but_run_is_noop() {
+        let p = prog(vec![Inst::HALT]);
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert_eq!(m.run(10).unwrap(), 0);
+        assert!(matches!(m.step(), Err(MachineError::Halted)));
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        let p = prog(vec![Inst::NOP, Inst::NOP, Inst::HALT]);
+        let mut m = Machine::new(&p);
+        let mut pcs = Vec::new();
+        m.run_with(10, |ev| pcs.push(ev.pc)).unwrap();
+        assert_eq!(pcs.len(), 3);
+        assert_eq!(pcs[1] - pcs[0], 4);
+    }
+
+    #[test]
+    fn stack_pointer_initialised() {
+        let p = prog(vec![Inst::HALT]);
+        let m = Machine::new(&p);
+        assert_eq!(m.regs.read(Reg::SP), STACK_TOP);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the ISA crate.
+
+use proptest::prelude::*;
+
+use vpir_isa::{asm, execute, Inst, MemImage, MemWidth, Op, Reg, RegFile};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::int)
+}
+
+fn arb_freg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::fp)
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8),
+    ]
+}
+
+/// Assembly-printable instructions (register-file subset).
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let rrr_ops = prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Nor),
+        Just(Op::Slt),
+        Just(Op::Sltu),
+        Just(Op::Div),
+        Just(Op::Rem),
+    ];
+    let rri_ops = prop_oneof![
+        Just(Op::Addi),
+        Just(Op::Andi),
+        Just(Op::Ori),
+        Just(Op::Xori),
+        Just(Op::Slti),
+    ];
+    prop_oneof![
+        (rrr_ops, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, d, a, b)| Inst::rrr(op, d, a, b)),
+        (rri_ops, arb_reg(), arb_reg(), -10_000i64..10_000)
+            .prop_map(|(op, d, a, imm)| Inst::rri(op, d, a, imm)),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(d, a, b)| Inst::rrr(Op::AddF, d, a, b)),
+        (arb_reg(), 0i64..0x10000)
+            .prop_map(|(d, imm)| Inst::rri(Op::Lui, d, Reg::ZERO, imm)),
+    ]
+}
+
+proptest! {
+    /// The assembler parses back exactly what `Display` prints.
+    #[test]
+    fn display_assemble_roundtrip(insts in proptest::collection::vec(arb_inst(), 1..20)) {
+        let mut src = String::new();
+        for i in &insts {
+            src.push_str(&format!("        {i}\n"));
+        }
+        src.push_str("        halt\n");
+        let prog = asm::assemble(&src).expect("printed instructions reassemble");
+        prop_assert_eq!(prog.insts.len(), insts.len() + 1);
+        for (orig, parsed) in insts.iter().zip(&prog.insts) {
+            prop_assert_eq!(orig, parsed);
+        }
+    }
+
+    /// Memory behaves like a byte map: reads return the last write.
+    #[test]
+    fn memory_matches_byte_map(
+        writes in proptest::collection::vec(
+            (0u64..0x1_0000, arb_width(), any::<u64>()), 1..60
+        ),
+        probe in 0u64..0x1_0000,
+    ) {
+        let mut mem = MemImage::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for (addr, width, value) in &writes {
+            mem.write(*addr, *width, *value);
+            for i in 0..width.bytes() {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        prop_assert_eq!(mem.read_u8(probe), model.get(&probe).copied().unwrap_or(0));
+        for (addr, width, _) in &writes {
+            let expected: u64 = (0..width.bytes())
+                .map(|i| (model.get(&(addr + i)).copied().unwrap_or(0) as u64) << (8 * i))
+                .sum();
+            prop_assert_eq!(mem.read(*addr, *width), expected);
+        }
+    }
+
+    /// Execution is a pure function of the operand values.
+    #[test]
+    fn execute_is_deterministic(inst in arb_inst(), vals in proptest::collection::vec(any::<u64>(), 65)) {
+        let mut rf = RegFile::new();
+        for (i, v) in vals.iter().enumerate() {
+            rf.write(Reg::from_index(i), *v);
+        }
+        let mem = MemImage::new();
+        let a = execute(&inst, 0x1000, |r| rf.read(r), &mem);
+        let b = execute(&inst, 0x1000, |r| rf.read(r), &mem);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The zero register is never observed non-zero, whatever executes.
+    #[test]
+    fn zero_register_invariant(inst in arb_inst(), vals in proptest::collection::vec(any::<u64>(), 65)) {
+        let mut rf = RegFile::new();
+        for (i, v) in vals.iter().enumerate() {
+            rf.write(Reg::from_index(i), *v);
+        }
+        let mem = MemImage::new();
+        let out = execute(&inst, 0x1000, |r| rf.read(r), &mem);
+        if inst.dst == Some(Reg::ZERO) {
+            prop_assert_eq!(out.result, Some(0));
+        }
+        prop_assert_eq!(rf.read(Reg::ZERO), 0);
+    }
+
+    /// Every opcode's mnemonic survives a parse round trip.
+    #[test]
+    fn mnemonic_roundtrip(idx in 0usize..Op::ALL.len()) {
+        let op = Op::ALL[idx];
+        prop_assert_eq!(Op::parse(op.mnemonic()), Some(op));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the cache model against a reference
+//! implementation of set-associative LRU.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use vpir_mem::{Cache, CacheConfig, PortArbiter};
+
+/// A straightforward reference model of a set-associative LRU cache.
+struct RefCache {
+    sets: HashMap<u64, Vec<u64>>, // set -> lines, most recent last
+    assoc: usize,
+    line_bytes: u64,
+    nsets: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> RefCache {
+        RefCache {
+            sets: HashMap::new(),
+            assoc: cfg.assoc,
+            line_bytes: cfg.line_bytes as u64,
+            nsets: cfg.sets() as u64,
+        }
+    }
+
+    /// Returns whether the access hits, then updates LRU state.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = self.sets.entry(line % self.nsets).or_default();
+        let hit = set.contains(&line);
+        set.retain(|l| *l != line);
+        set.push(line);
+        if set.len() > self.assoc {
+            set.remove(0);
+        }
+        hit
+    }
+}
+
+fn small_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 512,
+        assoc: 2,
+        line_bytes: 32,
+        hit_latency: 1,
+        miss_latency: 6,
+        mshrs: 64, // effectively unlimited so timing never reorders fills
+    }
+}
+
+proptest! {
+    /// Hit/miss classification matches the reference LRU model when
+    /// accesses are spaced out (no overlapping misses).
+    #[test]
+    fn matches_reference_lru(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+        let cfg = small_config();
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(&cfg);
+        let mut t = 0u64;
+        for addr in addrs {
+            t += 100; // far enough apart that every miss has completed
+            let expect = reference.access(addr);
+            let got = cache.access(t, addr, false);
+            prop_assert_eq!(got.hit, expect, "addr {:#x} at {}", addr, t);
+        }
+    }
+
+    /// Data is never ready before the hit latency nor later than a full
+    /// miss, and hits are strictly faster than cold misses.
+    #[test]
+    fn latency_bounds(addrs in proptest::collection::vec(0u64..0x4000, 1..100)) {
+        let cfg = small_config();
+        let mut cache = Cache::new(cfg);
+        let mut t = 0u64;
+        for addr in addrs {
+            t += 50;
+            let out = cache.access(t, addr, false);
+            let delay = out.ready_cycle - t;
+            prop_assert!(delay >= cfg.hit_latency as u64);
+            prop_assert!(delay <= (cfg.hit_latency + cfg.miss_latency) as u64);
+            if out.hit {
+                prop_assert_eq!(delay, cfg.hit_latency as u64);
+            }
+        }
+    }
+
+    /// Stats add up: hits + misses + merges equals accesses.
+    #[test]
+    fn stats_are_consistent(addrs in proptest::collection::vec(0u64..0x2000, 1..100)) {
+        let mut cache = Cache::new(small_config());
+        for (i, addr) in addrs.iter().enumerate() {
+            cache.access(i as u64, *addr, i % 3 == 0);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+
+    /// The port arbiter grants exactly `ports` requests per cycle.
+    #[test]
+    fn arbiter_grants_exactly_ports(
+        ports in 1u32..4,
+        demands in proptest::collection::vec(0usize..8, 1..50),
+    ) {
+        let mut arb = PortArbiter::new(ports);
+        for (cycle, demand) in demands.iter().enumerate() {
+            let granted = (0..*demand)
+                .filter(|_| arb.request(cycle as u64))
+                .count();
+            prop_assert_eq!(granted, (*demand).min(ports as usize));
+        }
+        let (g, d) = arb.totals();
+        prop_assert_eq!(g + d, demands.iter().map(|d| *d as u64).sum::<u64>());
+    }
+}

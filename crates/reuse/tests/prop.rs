@@ -1,0 +1,187 @@
+//! Property-based tests for the reuse buffer.
+//!
+//! The central invariant is *soundness*: under the value-augmented
+//! scheme, whenever the buffer reports a reusable result for an
+//! instruction whose operands currently hold known values, that result
+//! equals what executing the instruction with those values would
+//! produce. (Non-speculativity is IR's defining property.)
+
+use proptest::prelude::*;
+
+use vpir_isa::{execute, Inst, MemImage, Op, Reg};
+use vpir_reuse::{OperandView, RbConfig, RbInsert, ReuseBuffer, ReuseScheme};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Slt),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// Execute (and record) the instruction at `pc_idx` with operands.
+    Exec { pc_idx: u8, a: u64, b: u64 },
+    /// Try to reuse `pc_idx` with current operand values.
+    Lookup { pc_idx: u8, a: u64, b: u64 },
+    /// Commit a register write (invalidation traffic).
+    RegWrite { reg: u8, value: u64 },
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    // Small value domains make collisions (and hence reuse) likely.
+    let val = 0u64..6;
+    prop_oneof![
+        (0u8..6, val.clone(), val.clone()).prop_map(|(pc_idx, a, b)| Event::Exec { pc_idx, a, b }),
+        (0u8..6, val.clone(), val.clone())
+            .prop_map(|(pc_idx, a, b)| Event::Lookup { pc_idx, a, b }),
+        (2u8..6, val).prop_map(|(reg, value)| Event::RegWrite { reg, value }),
+    ]
+}
+
+fn compute(op: Op, a: u64, b: u64) -> u64 {
+    let inst = Inst::rrr(op, Reg::int(1), Reg::int(2), Reg::int(3));
+    let mem = MemImage::new();
+    let out = execute(
+        &inst,
+        0,
+        |r| {
+            if r == Reg::int(2) {
+                a
+            } else if r == Reg::int(3) {
+                b
+            } else {
+                0
+            }
+        },
+        &mem,
+    );
+    out.result.expect("alu result")
+}
+
+proptest! {
+    /// Soundness: any reported full reuse matches real execution.
+    #[test]
+    fn reuse_is_always_sound(
+        ops in proptest::collection::vec(arb_op(), 6),
+        events in proptest::collection::vec(arb_event(), 1..150),
+    ) {
+        let mut rb = ReuseBuffer::new(RbConfig {
+            entries: 16,
+            assoc: 2,
+            scheme: ReuseScheme::SnDValues,
+        });
+        for ev in events {
+            match ev {
+                Event::Exec { pc_idx, a, b } => {
+                    let op = ops[pc_idx as usize];
+                    rb.insert(RbInsert {
+                        pc: 0x1000 + 4 * pc_idx as u64,
+                        op,
+                        srcs: [Some((Reg::int(2), a)), Some((Reg::int(3), b))],
+                        result: Some(compute(op, a, b)),
+                        ..RbInsert::default()
+                    });
+                }
+                Event::Lookup { pc_idx, a, b } => {
+                    let op = ops[pc_idx as usize];
+                    let view = move |r: Reg| {
+                        if r == Reg::int(2) {
+                            OperandView::settled(a)
+                        } else if r == Reg::int(3) {
+                            OperandView::settled(b)
+                        } else {
+                            OperandView::default()
+                        }
+                    };
+                    if let Some(hit) = rb.lookup(0x1000 + 4 * pc_idx as u64, op, &view, &[]) {
+                        prop_assert!(hit.full);
+                        prop_assert_eq!(
+                            hit.result,
+                            Some(compute(op, a, b)),
+                            "unsound reuse of {:?} with ({}, {})", op, a, b
+                        );
+                    }
+                }
+                Event::RegWrite { reg, value } => {
+                    rb.on_reg_write(Reg::int(reg), value);
+                }
+            }
+        }
+    }
+
+    /// Per-PC occupancy never exceeds the associativity.
+    #[test]
+    fn instances_bounded_by_assoc(
+        inserts in proptest::collection::vec((0u8..4, 0u64..20, 0u64..20), 1..120),
+    ) {
+        let mut rb = ReuseBuffer::new(RbConfig {
+            entries: 32,
+            assoc: 4,
+            scheme: ReuseScheme::SnDValues,
+        });
+        for (pc_idx, a, b) in inserts {
+            let pc = 0x1000 + 4 * pc_idx as u64;
+            rb.insert(RbInsert {
+                pc,
+                op: Op::Add,
+                srcs: [Some((Reg::int(2), a)), Some((Reg::int(3), b))],
+                result: Some(a + b),
+                ..RbInsert::default()
+            });
+            prop_assert!(rb.instances(pc) <= 4);
+        }
+    }
+
+    /// An entry written and immediately probed with identical settled
+    /// operands always hits (completeness on the easy path).
+    #[test]
+    fn fresh_entry_hits(pc in 0u64..64, a in 0u64..100, b in 0u64..100) {
+        let mut rb = ReuseBuffer::new(RbConfig::table1());
+        let pc = 0x1000 + pc * 4;
+        rb.insert(RbInsert {
+            pc,
+            op: Op::Xor,
+            srcs: [Some((Reg::int(2), a)), Some((Reg::int(3), b))],
+            result: Some(a ^ b),
+            ..RbInsert::default()
+        });
+        let view = move |r: Reg| {
+            if r == Reg::int(2) {
+                OperandView::settled(a)
+            } else {
+                OperandView::settled(b)
+            }
+        };
+        let hit = rb.lookup(pc, Op::Xor, &view, &[]).expect("fresh entry reusable");
+        prop_assert_eq!(hit.result, Some(a ^ b));
+    }
+
+    /// Stats counters never go backwards and always balance.
+    #[test]
+    fn stats_balance(
+        inserts in proptest::collection::vec((0u8..8, 0u64..4, 0u64..4), 1..80),
+    ) {
+        let mut rb = ReuseBuffer::new(RbConfig {
+            entries: 8,
+            assoc: 2,
+            scheme: ReuseScheme::SnDValues,
+        });
+        for (pc_idx, a, b) in inserts {
+            rb.insert(RbInsert {
+                pc: 0x1000 + 4 * pc_idx as u64,
+                op: Op::Add,
+                srcs: [Some((Reg::int(2), a)), Some((Reg::int(3), b))],
+                result: Some(a + b),
+                ..RbInsert::default()
+            });
+            let s = rb.stats();
+            prop_assert!(s.evictions <= s.inserts);
+        }
+    }
+}

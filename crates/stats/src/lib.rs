@@ -1,0 +1,134 @@
+//! # vpir-stats — means, ratios, and report rendering
+//!
+//! Small numeric and formatting helpers shared by the experiment harness:
+//! the paper reports harmonic means over benchmarks (Figures 3, 6, 7) and
+//! fixed-width tables; this crate renders both.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpir_stats::harmonic_mean;
+//! let speedups = [1.1, 1.2, 1.3];
+//! let hm = harmonic_mean(speedups.iter().copied()).unwrap();
+//! assert!(hm > 1.19 && hm < 1.20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+
+pub use table::{AsciiBars, Table};
+
+/// The harmonic mean of a sequence of positive values.
+///
+/// Returns `None` for an empty sequence or any non-positive value. The
+/// paper's HM bars over per-benchmark speedups use this.
+pub fn harmonic_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut n = 0usize;
+    let mut recip_sum = 0.0;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        n += 1;
+        recip_sum += 1.0 / v;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(n as f64 / recip_sum)
+    }
+}
+
+/// The arithmetic mean; `None` for an empty sequence.
+pub fn arithmetic_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for v in values {
+        n += 1;
+        sum += v;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// The geometric mean of positive values; `None` if empty or non-positive.
+pub fn geometric_mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut n = 0usize;
+    let mut log_sum = 0.0;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        n += 1;
+        log_sum += v.ln();
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// `part / whole` as a percentage; `0.0` when `whole` is zero.
+pub fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// `value / base`; `0.0` when `base` is zero (used for normalised bars).
+pub fn ratio(value: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        value / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_basics() {
+        assert_eq!(harmonic_mean([2.0, 2.0]), Some(2.0));
+        let hm = harmonic_mean([1.0, 2.0]).unwrap();
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(std::iter::empty()), None);
+        assert_eq!(harmonic_mean([1.0, 0.0]), None);
+        assert_eq!(harmonic_mean([1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn harmonic_is_below_arithmetic() {
+        let vals = [1.0, 2.0, 4.0];
+        let hm = harmonic_mean(vals).unwrap();
+        let am = arithmetic_mean(vals).unwrap();
+        let gm = geometric_mean(vals).unwrap();
+        assert!(hm < gm && gm < am);
+    }
+
+    #[test]
+    fn percent_and_ratio_handle_zero() {
+        assert_eq!(percent(1, 0), 0.0);
+        assert_eq!(percent(25, 100), 25.0);
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(5.0, 2.0), 2.5);
+    }
+}

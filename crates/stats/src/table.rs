@@ -1,0 +1,186 @@
+//! Fixed-width table and ASCII bar-chart rendering.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use vpir_stats::Table;
+/// let mut t = Table::new(&["bench", "speedup"]);
+/// t.row(&["go", "1.04"]);
+/// t.row(&["gcc", "1.11"]);
+/// let s = t.render();
+/// assert!(s.contains("bench"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Horizontal ASCII bars for normalised quantities (the paper's figures).
+///
+/// # Examples
+///
+/// ```
+/// use vpir_stats::AsciiBars;
+/// let mut bars = AsciiBars::new(20, 2.0);
+/// bars.bar("go", 1.0);
+/// bars.bar("gcc", 1.5);
+/// let s = bars.render();
+/// assert!(s.contains("go"));
+/// assert!(s.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiBars {
+    width: usize,
+    max: f64,
+    bars: Vec<(String, f64)>,
+}
+
+impl AsciiBars {
+    /// Creates a chart `width` characters wide whose full scale is `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `max` is not positive.
+    pub fn new(width: usize, max: f64) -> AsciiBars {
+        assert!(width > 0 && max > 0.0, "degenerate chart scale");
+        AsciiBars {
+            width,
+            max,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled bar; values are clamped to the scale.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut AsciiBars {
+        self.bars.push((label.to_string(), value));
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, value) in &self.bars {
+            let frac = (value / self.max).clamp(0.0, 1.0);
+            let n = (frac * self.width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:<label_w$} |{bar:<width$}| {value:.3}",
+                bar = "#".repeat(n),
+                width = self.width
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_and_truncates() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.render();
+        assert_eq!(t.len(), 2);
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["long-name", "1"]);
+        t.row(&["x", "22"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().map(|l| l.trim_end()).collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn bars_clamp() {
+        let mut b = AsciiBars::new(10, 1.0);
+        b.bar("over", 5.0);
+        let s = b.render();
+        assert!(s.contains(&"#".repeat(10)));
+        assert!(!s.contains(&"#".repeat(11)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_width_rejected() {
+        AsciiBars::new(0, 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Whole-program binary-encoding round trips: every assembled workload
+//! and every generated random program must encode into 32-bit words and
+//! decode back to a semantically identical text segment.
+
+use proptest::prelude::*;
+
+use vpir_isa::{encoding, Inst, Machine, Op, Program, Reg};
+use vpir_workloads::synth::{random_program, SynthConfig};
+use vpir_workloads::{Bench, Scale};
+
+/// `nop` is encoded as the canonical `sll r0, r0, 0`.
+fn normalise(inst: &Inst) -> Inst {
+    if inst.op == Op::Nop {
+        Inst::rri(Op::Sll, Reg::ZERO, Reg::ZERO, 0)
+    } else {
+        *inst
+    }
+}
+
+fn assert_roundtrip(prog: &Program, what: &str) {
+    let words = encoding::encode_program(&prog.insts, prog.text_base)
+        .unwrap_or_else(|(i, e)| panic!("{what}: instruction {i} ({}) — {e}", prog.insts[i]));
+    let decoded = encoding::decode_program(&words, prog.text_base)
+        .unwrap_or_else(|| panic!("{what}: undecodable word"));
+    assert_eq!(decoded.len(), prog.insts.len());
+    for (i, (orig, dec)) in prog.insts.iter().zip(&decoded).enumerate() {
+        assert_eq!(&normalise(orig), dec, "{what}: instruction {i}");
+    }
+}
+
+#[test]
+fn every_benchmark_is_binary_encodable() {
+    for bench in Bench::ALL {
+        let prog = bench.program(Scale::test());
+        assert_roundtrip(&prog, bench.name());
+    }
+}
+
+#[test]
+fn decoded_benchmark_runs_identically() {
+    // Encode, decode, and re-run: the architectural outcome must match.
+    let bench = Bench::Ijpeg;
+    let prog = bench.program(Scale::test());
+    let words = encoding::encode_program(&prog.insts, prog.text_base).expect("encodable");
+    let decoded = encoding::decode_program(&words, prog.text_base).expect("decodable");
+    let mut reprog = prog.clone();
+    reprog.insts = decoded;
+
+    let mut a = Machine::new(&prog);
+    a.run(20_000_000).expect("original runs");
+    let mut b = Machine::new(&reprog);
+    b.run(20_000_000).expect("decoded runs");
+    assert_eq!(a.icount, b.icount);
+    for i in 0..vpir_isa::NUM_REGS {
+        let r = Reg::from_index(i);
+        assert_eq!(a.regs.read(r), b.regs.read(r), "{r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// Random structured programs round-trip through the encoding.
+    #[test]
+    fn random_programs_roundtrip(seed in 0u64..100_000) {
+        let prog = random_program(seed, SynthConfig::default());
+        assert_roundtrip(&prog, &format!("synth seed {seed}"));
+    }
+}

@@ -1,0 +1,241 @@
+//! The `vpir` command-line simulator.
+//!
+//! ```text
+//! vpir run <prog.s|prog.vpir> [--machine M] [--cycles N] [--trace N] [--disasm]
+//! vpir asm <prog.s> -o <prog.vpir>
+//! vpir disasm <prog.s|prog.vpir>
+//! vpir limit <prog.s|prog.vpir> [--insts N]
+//!
+//! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
+//!           and every paper configuration like vp:nme-nsb:vl1
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use vpir::core::{
+    BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
+    VpConfig, VpKind,
+};
+use vpir::isa::{asm, image, Program};
+use vpir::redundancy::{analyze, LimitConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vpir run <prog.s|prog.vpir> [--machine M] [--cycles N] [--trace N] [--disasm]\n  \
+         vpir asm <prog.s> -o <prog.vpir>\n  \
+         vpir disasm <prog.s|prog.vpir>\n  \
+         vpir limit <prog.s|prog.vpir> [--insts N]\n\n\
+         machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
+         \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(b"VPIR") {
+        image::read(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let src = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+        asm::assemble(&src).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn parse_machine(spec: &str) -> Result<CoreConfig, String> {
+    match spec {
+        "base" => return Ok(CoreConfig::table1()),
+        "vp" => return Ok(CoreConfig::with_vp(VpConfig::magic())),
+        "lvp" => return Ok(CoreConfig::with_vp(VpConfig::lvp())),
+        "stride" => {
+            return Ok(CoreConfig::with_vp(VpConfig {
+                kind: VpKind::Stride,
+                ..VpConfig::magic()
+            }))
+        }
+        "ir" => return Ok(CoreConfig::with_ir(IrConfig::table1())),
+        "ir-late" => {
+            return Ok(CoreConfig::with_ir(IrConfig {
+                validation: Validation::Late,
+                ..IrConfig::table1()
+            }))
+        }
+        "hybrid" => {
+            return Ok(CoreConfig::with_hybrid(VpConfig::magic(), IrConfig::table1()))
+        }
+        _ => {}
+    }
+    // Structured form: <vp|lvp|stride>:<me|nme>-<sb|nsb>:vl<0|1>
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("unknown machine `{spec}`"));
+    }
+    let kind = match parts[0] {
+        "vp" => VpKind::Magic,
+        "lvp" => VpKind::Lvp,
+        "stride" => VpKind::Stride,
+        other => return Err(format!("unknown predictor `{other}`")),
+    };
+    let (re, br) = match parts[1] {
+        "me-sb" => (Reexecution::Me, BranchResolution::Sb),
+        "me-nsb" => (Reexecution::Me, BranchResolution::Nsb),
+        "nme-sb" => (Reexecution::Nme, BranchResolution::Sb),
+        "nme-nsb" => (Reexecution::Nme, BranchResolution::Nsb),
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    let vl = match parts[2] {
+        "vl0" => 0,
+        "vl1" => 1,
+        other => return Err(format!("unknown verification latency `{other}`")),
+    };
+    Ok(CoreConfig::with_vp(VpConfig {
+        kind,
+        reexecution: re,
+        branch_resolution: br,
+        verify_latency: vl,
+        ..VpConfig::magic()
+    }))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "asm" => cmd_asm(&args[1..]),
+        "disasm" => cmd_disasm(&args[1..]),
+        "limit" => cmd_limit(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("run: missing program path".into());
+    };
+    let mut machine = "base".to_string();
+    let mut cycles: u64 = 200_000_000;
+    let mut trace: usize = 0;
+    let mut show_disasm = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--machine" => {
+                i += 1;
+                machine = args.get(i).cloned().ok_or("--machine needs a value")?;
+            }
+            "--cycles" => {
+                i += 1;
+                cycles = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cycles needs a number")?;
+            }
+            "--trace" => {
+                i += 1;
+                trace = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--trace needs a count")?;
+            }
+            "--disasm" => show_disasm = true,
+            other => return Err(format!("run: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let program = load_program(path)?;
+    if show_disasm {
+        print!("{}", program.disassemble());
+        println!();
+    }
+    let config = parse_machine(&machine)?;
+    let mut sim = Simulator::new(&program, config);
+    if trace > 0 {
+        sim.enable_trace(trace);
+    }
+    sim.run(RunLimits::cycles(cycles));
+    if !sim.halted() {
+        eprintln!("(cycle limit reached before halt)");
+    }
+    print!("{}", sim.stats().report());
+    if let Some(t) = sim.trace() {
+        println!("\ntrace of the first {} dispatches:", t.records().len());
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let (Some(input), Some(flag), Some(output)) = (args.first(), args.get(1), args.get(2))
+    else {
+        return Err("asm: expected <prog.s> -o <prog.vpir>".into());
+    };
+    if flag != "-o" {
+        return Err("asm: expected -o <output>".into());
+    }
+    let src = fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let program = asm::assemble(&src).map_err(|e| format!("{input}: {e}"))?;
+    let bytes = image::write(&program).map_err(|e| e.to_string())?;
+    fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{output}: {} instructions, {} data segment(s), {} bytes",
+        program.insts.len(),
+        program.data.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("disasm: missing program path".into());
+    };
+    let program = load_program(path)?;
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+fn cmd_limit(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("limit: missing program path".into());
+    };
+    let mut insts: u64 = 5_000_000;
+    if let Some(flag) = args.get(1) {
+        if flag == "--insts" {
+            insts = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("--insts needs a number")?;
+        }
+    }
+    let program = load_program(path)?;
+    let study = analyze(&program, insts, LimitConfig::default());
+    let (u, r, d, un) = study.classification_pct();
+    let (pr, far, near) = study.readiness_pct();
+    println!(
+        "result producers: {}\nclassification: unique {u:.1}%  repeated {r:.1}%  \
+         derivable {d:.1}%  unaccounted {un:.1}%",
+        study.total
+    );
+    println!(
+        "repeated inputs: producers-reused {pr:.1}%  ready(dist>=50) {far:.1}%  \
+         not-ready {near:.1}%"
+    );
+    println!(
+        "redundant: {:.1}% of producers; reusable: {:.1}% of the redundancy",
+        study.redundant_pct(),
+        study.reusable_pct()
+    );
+    Ok(())
+}

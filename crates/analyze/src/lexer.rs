@@ -1,0 +1,382 @@
+//! A minimal Rust source scanner.
+//!
+//! The rules in [`crate::rules`] work on *code text*: source lines with
+//! comment and literal contents blanked out, so that a `HashMap` inside
+//! a doc comment or a `panic!` inside a string never produces a
+//! finding. This module performs that blanking in a single pass,
+//! records `// vpir: allow(rule, reason)` suppression comments as it
+//! strips them, and marks the lines that belong to `#[cfg(test)]`
+//! blocks (test-only code is exempt from the hot-path rules).
+//!
+//! This is not a full lexer — it only understands the token classes
+//! that matter for blanking: line and (nested) block comments, string
+//! and raw-string literals, byte strings, character literals, and the
+//! character-versus-lifetime ambiguity after a `'`.
+
+/// One suppression comment: `// vpir: allow(rule, reason)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name being suppressed (e.g. `panic`).
+    pub rule: String,
+    /// The justification text after the comma.
+    pub reason: String,
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The line with comments and literal contents replaced by spaces.
+    /// Quote delimiters are kept so call shapes like `.expect("…")`
+    /// remain recognisable.
+    pub code: String,
+    /// A `// vpir: allow(...)` comment found on this line, if any.
+    pub allow: Option<Allow>,
+    /// True when the line sits inside a `#[cfg(test)]` block.
+    pub in_test: bool,
+}
+
+/// Scans a whole file into blanked [`SourceLine`]s.
+pub fn scan(source: &str) -> Vec<SourceLine> {
+    let blanked = blank(source);
+    let mut lines: Vec<SourceLine> = Vec::new();
+    for (i, (code, allow)) in blanked.into_iter().enumerate() {
+        lines.push(SourceLine {
+            number: i + 1,
+            code,
+            allow,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Pass 1: blanks comments and literal contents, collecting allows.
+/// Returns one `(code, allow)` pair per input line.
+fn blank(source: &str) -> Vec<(String, Option<Allow>)> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut mode = Mode::Code;
+    let mut out = String::with_capacity(source.len());
+    let mut allows: Vec<(usize, Allow)> = Vec::new();
+    let mut line_no = 1usize;
+    let mut i = 0usize;
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Newlines always survive, whatever mode we are in, so the
+            // output keeps the original line structure.
+            out.push('\n');
+            line_no += 1;
+            i += 1;
+            // Character literals cannot span lines; resetting here
+            // keeps a misread quote from swallowing the rest of the
+            // file. String literals may legitimately continue.
+            if mode == Mode::Char {
+                mode = Mode::Code;
+            }
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    // Line comment: capture to end of line, look for a
+                    // suppression, and blank the whole thing.
+                    let start = i;
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    if let Some(a) = parse_allow(&text) {
+                        allows.push((line_no, a));
+                    }
+                    for _ in start..i {
+                        out.push(' ');
+                    }
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    mode = Mode::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if is_raw_string_start(&chars, i) {
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        out.push(' ');
+                        j += 1;
+                    }
+                    out.push(' '); // the `r`
+                    j += 1;
+                    let mut hashes = 0u32;
+                    while at(j) == Some('#') {
+                        hashes += 1;
+                        out.push(' ');
+                        j += 1;
+                    }
+                    out.push('"');
+                    j += 1;
+                    mode = Mode::RawStr(hashes);
+                    i = j;
+                } else if c == '"' || (c == 'b' && at(i + 1) == Some('"') && !ident_before(&chars, i))
+                {
+                    if c == 'b' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    out.push('"');
+                    i += 1;
+                    mode = Mode::Str;
+                } else if c == '\'' {
+                    // Disambiguate character literal from lifetime.
+                    if at(i + 1) == Some('\\')
+                        || (at(i + 2) == Some('\'') && at(i + 1) != Some('\''))
+                    {
+                        out.push('\'');
+                        i += 1;
+                        mode = Mode::Char;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                if c == '*' && at(i + 1) == Some('/') {
+                    out.push_str("  ");
+                    i += 2;
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    out.push_str("  ");
+                    i += 2;
+                    mode = Mode::Block(depth + 1);
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if at(i + 1 + k as usize) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                out.push(' ');
+                i += 1;
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    out.push('\'');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let mut result: Vec<(String, Option<Allow>)> = Vec::new();
+    for (n, line) in out.lines().enumerate() {
+        let allow = allows
+            .iter()
+            .find(|(ln, _)| *ln == n + 1)
+            .map(|(_, a)| a.clone());
+        result.push((line.to_string(), allow));
+    }
+    // `str::lines` drops a trailing empty line; rules index by line
+    // number so the count only has to cover every numbered allow.
+    result
+}
+
+/// True when `chars[i]` starts a raw-string literal (`r"`, `r#"`,
+/// `br##"`, …) rather than an identifier ending in `r`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    if ident_before(chars, i) {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// True when the character before index `i` continues an identifier,
+/// meaning the `r`/`b` at `i` is the tail of a name, not a prefix.
+fn ident_before(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Parses `// vpir: allow(rule, reason)` from a line-comment's text.
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("vpir:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return None;
+    }
+    Some(Allow {
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+/// Pass 2: marks every line inside a `#[cfg(test)]` item as test code.
+///
+/// The attribute introduces the next brace-delimited block (typically
+/// `mod tests { … }`); everything from the attribute line through the
+/// matching close brace is test-only.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].code.trim_start().starts_with("#[cfg(test)]") {
+            let start = i;
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut end = lines.len() - 1;
+            'outer: for (j, line) in lines.iter().enumerate().skip(start) {
+                for c in line.code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                end = j;
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for line in &mut lines[start..=end] {
+                line.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let lines = scan("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[1].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn allow_comment_is_recorded_and_blanked() {
+        let lines = scan("x.expect(\"boom\"); // vpir: allow(panic, startup only)\n");
+        let allow = lines[0].allow.as_ref().expect("allow parsed");
+        assert_eq!(allow.rule, "panic");
+        assert_eq!(allow.reason, "startup only");
+        assert!(!lines[0].code.contains("vpir"));
+        assert!(lines[0].code.contains(".expect("));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = scan("a /* one /* two */ still */ b\n/* open\npanic!()\n*/ c\n");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("panic"));
+        assert!(lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x } // 'a\nlet c = '\"'; let d = \"q\";\n");
+        assert!(lines[0].code.contains("'a"));
+        // The quote inside the char literal must not open a string.
+        assert!(lines[1].code.contains("\"q\"") || lines[1].code.contains('d'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = scan("let s = r#\"panic! \"# ; let t = 1;\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let t"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

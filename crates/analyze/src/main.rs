@@ -1,0 +1,86 @@
+//! CLI entry point for `vpir-analyze`.
+//!
+//! ```text
+//! vpir-analyze [--root DIR] [--format text|json]
+//! ```
+//!
+//! Exits 0 when the tree is clean (suppressed findings allowed),
+//! 1 when unsuppressed findings remain, and 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vpir_analyze::analyze_root;
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--format" => {
+                match args.next().as_deref() {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                return Err("usage: vpir-analyze [--root DIR] [--format text|json]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options { root, json })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_root(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vpir-analyze: cannot read {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        // An empty scan would make the CI gate pass vacuously — a
+        // mistyped --root must fail loudly, not silently approve.
+        eprintln!(
+            "vpir-analyze: no Rust sources under {} (expected src/ or crates/*/src)",
+            opts.root.display()
+        );
+        return ExitCode::from(2);
+    }
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.live().count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,6 @@
+//! R1 bad twin: hash-ordered collection in a cycle-level crate.
+use std::collections::HashMap;
+
+pub fn checkpoints() -> HashMap<u64, u64> {
+    HashMap::new()
+}

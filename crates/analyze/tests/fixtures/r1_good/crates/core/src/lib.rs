@@ -1,0 +1,6 @@
+//! R1 good twin: ordered collection, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub fn checkpoints() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,10 @@
+//! R2 bad twin: panicking constructs on the hot path.
+
+pub fn head(xs: &[u64], cache: Option<u64>) -> u64 {
+    let first = xs[0];
+    let cached = cache.unwrap();
+    if first > cached {
+        panic!("impossible");
+    }
+    cache.expect("checked above")
+}

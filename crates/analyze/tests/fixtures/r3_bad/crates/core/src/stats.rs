@@ -1,0 +1,15 @@
+//! R3 bad twin: `dead` is never updated, `hidden` is updated but never
+//! surfaced by a report.
+
+#[derive(Default)]
+pub struct RunStats {
+    pub hits: u64,
+    pub dead: u64,
+    pub hidden: u64,
+}
+
+impl RunStats {
+    pub fn report(&self) -> u64 {
+        self.hits
+    }
+}

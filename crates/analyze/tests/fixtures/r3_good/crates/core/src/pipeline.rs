@@ -1,0 +1,11 @@
+//! Updates every stats field.
+
+use crate::stats::RunStats;
+
+pub fn tick(stats: &mut RunStats, hit: bool) {
+    if hit {
+        stats.hits += 1;
+    } else {
+        stats.misses += 1;
+    }
+}

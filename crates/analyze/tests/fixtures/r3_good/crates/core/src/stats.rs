@@ -1,0 +1,13 @@
+//! R3 good twin: every field is updated and surfaced.
+
+#[derive(Default)]
+pub struct RunStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl RunStats {
+    pub fn report(&self) -> u64 {
+        self.hits + self.misses
+    }
+}

@@ -1,0 +1,6 @@
+//! R4 bad twin: `ghost` is a knob nothing reads.
+
+pub struct CoreConfig {
+    pub width: usize,
+    pub ghost: usize,
+}

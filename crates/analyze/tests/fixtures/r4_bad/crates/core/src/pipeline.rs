@@ -1,0 +1,7 @@
+//! Reads `width`; `ghost` stays untouched.
+
+use crate::config::CoreConfig;
+
+pub fn slots(config: &CoreConfig) -> usize {
+    config.width * 2
+}

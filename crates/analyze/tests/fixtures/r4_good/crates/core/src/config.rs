@@ -1,0 +1,6 @@
+//! R4 good twin: every knob is read by the pipeline.
+
+pub struct CoreConfig {
+    pub width: usize,
+    pub depth: usize,
+}

@@ -1,0 +1,7 @@
+//! Reads both config fields.
+
+use crate::config::CoreConfig;
+
+pub fn slots(config: &CoreConfig) -> usize {
+    config.width * config.depth
+}

@@ -1,0 +1,12 @@
+//! R5 bad twin: a u32 counter overflows silently on long runs.
+
+#[derive(Default)]
+pub struct TickStats {
+    pub ticks: u32,
+}
+
+impl TickStats {
+    pub fn report(&self) -> u32 {
+        self.ticks
+    }
+}

@@ -1,0 +1,12 @@
+//! R5 good twin: u64 counters cannot overflow in any realistic run.
+
+#[derive(Default)]
+pub struct TickStats {
+    pub ticks: u64,
+}
+
+impl TickStats {
+    pub fn report(&self) -> u64 {
+        self.ticks
+    }
+}

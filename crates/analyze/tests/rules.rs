@@ -1,0 +1,111 @@
+//! Fixture tests: each rule has a bad/good twin under
+//! `tests/fixtures/`, shaped like a miniature workspace, plus a
+//! self-check that the real workspace stays clean.
+
+use std::path::{Path, PathBuf};
+
+use vpir_analyze::{analyze_root, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze(name: &str) -> Report {
+    analyze_root(&fixture(name)).expect("fixture tree readable")
+}
+
+/// Rule ids of unsuppressed findings, e.g. `["R1"]`.
+fn live_ids(report: &Report) -> Vec<&'static str> {
+    report.live().map(|f| f.rule.id()).collect()
+}
+
+#[test]
+fn r1_fires_on_hash_collections_and_not_on_btree() {
+    let bad = analyze("r1_bad");
+    assert_eq!(live_ids(&bad), ["R1", "R1", "R1"], "{}", bad.to_text());
+    let good = analyze("r1_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
+fn r2_fires_on_panicking_constructs_and_honors_allows() {
+    let bad = analyze("r2_bad");
+    let ids = live_ids(&bad);
+    assert_eq!(ids.len(), 4, "{}", bad.to_text());
+    assert!(ids.iter().all(|id| *id == "R2"));
+
+    let good = analyze("r2_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+    // The allow comment is recorded, not discarded.
+    assert_eq!(good.suppressed().count(), 1);
+    let reason = good
+        .suppressed()
+        .next()
+        .and_then(|f| f.suppressed.clone())
+        .unwrap_or_default();
+    assert!(reason.contains("constructor"), "reason: {reason}");
+}
+
+#[test]
+fn r3_fires_on_dead_and_unsurfaced_stats_fields() {
+    let bad = analyze("r3_bad");
+    let r3: Vec<_> = bad.live().filter(|f| f.rule.id() == "R3").collect();
+    assert_eq!(r3.len(), 2, "{}", bad.to_text());
+    assert!(r3.iter().any(|f| f.message.contains("`RunStats.dead` is never updated")));
+    assert!(r3.iter().any(|f| f.message.contains("`RunStats.hidden` is never surfaced")));
+
+    let good = analyze("r3_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
+fn r4_fires_on_unread_config_fields() {
+    let bad = analyze("r4_bad");
+    let ids = live_ids(&bad);
+    assert_eq!(ids, ["R4"], "{}", bad.to_text());
+    assert!(bad.live().next().is_some_and(|f| f.message.contains("ghost")));
+
+    let good = analyze("r4_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
+fn r5_fires_on_narrow_counters() {
+    let bad = analyze("r5_bad");
+    let ids = live_ids(&bad);
+    assert_eq!(ids, ["R5"], "{}", bad.to_text());
+    assert!(bad.live().next().is_some_and(|f| f.message.contains("u32")));
+
+    let good = analyze("r5_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
+fn json_output_round_trips_rule_ids() {
+    let bad = analyze("r2_bad");
+    let json = bad.to_json();
+    assert!(json.contains("\"rule\":\"R2\""));
+    assert!(json.contains("\"name\":\"panic\""));
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = analyze_root(root).expect("workspace readable");
+    assert!(
+        report.live().next().is_none(),
+        "workspace has live findings:\n{}",
+        report.to_text()
+    );
+    // The burn-down left justifications behind, not bare suppressions.
+    assert!(report.suppressed().all(|f| f
+        .suppressed
+        .as_ref()
+        .is_some_and(|r| !r.is_empty())));
+}

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the simulator's building blocks.
+//!
+//! Run with `cargo bench -p vpir-bench --features bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
+use vpir_bench::microbench::{black_box, group};
 use vpir_branch::{DirectionPredictor, Gshare};
 use vpir_core::{CoreConfig, RunLimits, Simulator};
 use vpir_isa::{asm, Machine};
@@ -10,93 +11,73 @@ use vpir_predict::{MagicPredictor, ValuePredictor, VptConfig};
 use vpir_reuse::{OperandView, RbConfig, RbInsert, ReuseBuffer};
 use vpir_workloads::{Bench, Scale};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("access_mixed_1k", |b| {
-        let mut cache = Cache::new(CacheConfig::table1_data());
-        let mut t = 0u64;
-        b.iter(|| {
-            for i in 0..1024u64 {
-                t += 1;
-                let addr = (i * 2654435761) & 0x3_ffff;
-                black_box(cache.access(t, addr, i % 4 == 0));
-            }
-        })
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::table1_data());
+    let mut t = 0u64;
+    group("cache").throughput(1024).bench("access_mixed_1k", || {
+        for i in 0..1024u64 {
+            t += 1;
+            let addr = (i * 2654435761) & 0x3_ffff;
+            black_box(cache.access(t, addr, i % 4 == 0));
+        }
     });
-    g.finish();
 }
 
-fn bench_gshare(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gshare");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("predict_update_1k", |b| {
-        let mut bp = Gshare::table1();
-        b.iter(|| {
-            for i in 0..1024u64 {
-                let pc = 0x1000 + (i % 64) * 4;
-                let (taken, token) = bp.predict(pc);
-                bp.update(pc, i % 3 == 0, token);
-                if taken != (i % 3 == 0) {
-                    bp.recover(token, i % 3 == 0);
+fn bench_gshare() {
+    let mut bp = Gshare::table1();
+    group("gshare").throughput(1024).bench("predict_update_1k", || {
+        for i in 0..1024u64 {
+            let pc = 0x1000 + (i % 64) * 4;
+            let (taken, token) = bp.predict(pc);
+            bp.update(pc, i % 3 == 0, token);
+            if taken != (i % 3 == 0) {
+                bp.recover(token, i % 3 == 0);
+            }
+        }
+    });
+}
+
+fn bench_vpt() {
+    let mut vp = MagicPredictor::new(VptConfig::table1());
+    group("vpt").throughput(1024).bench("magic_predict_train_1k", || {
+        for i in 0..1024u64 {
+            let pc = 0x1000 + (i % 128) * 4;
+            let v = i % 5;
+            black_box(vp.predict(pc, Some(v)));
+            vp.train(pc, v);
+        }
+    });
+}
+
+fn bench_rb() {
+    let mut rb = ReuseBuffer::new(RbConfig::table1());
+    group("reuse_buffer").throughput(1024).bench("insert_lookup_1k", || {
+        for i in 0..1024u64 {
+            let pc = 0x1000 + (i % 128) * 4;
+            let a = i % 4;
+            rb.insert(RbInsert {
+                pc,
+                op: vpir_isa::Op::Add,
+                srcs: [
+                    Some((vpir_isa::Reg::int(2), a)),
+                    Some((vpir_isa::Reg::int(3), 7)),
+                ],
+                result: Some(a + 7),
+                ..RbInsert::default()
+            });
+            let view = move |r: vpir_isa::Reg| {
+                if r == vpir_isa::Reg::int(2) {
+                    OperandView::settled(a)
+                } else {
+                    OperandView::settled(7)
                 }
-            }
-        })
+            };
+            black_box(rb.lookup(pc, vpir_isa::Op::Add, &view, &[]));
+        }
     });
-    g.finish();
 }
 
-fn bench_vpt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vpt");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("magic_predict_train_1k", |b| {
-        let mut vp = MagicPredictor::new(VptConfig::table1());
-        b.iter(|| {
-            for i in 0..1024u64 {
-                let pc = 0x1000 + (i % 128) * 4;
-                let v = i % 5;
-                black_box(vp.predict(pc, Some(v)));
-                vp.train(pc, v);
-            }
-        })
-    });
-    g.finish();
-}
-
-fn bench_rb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reuse_buffer");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("insert_lookup_1k", |b| {
-        let mut rb = ReuseBuffer::new(RbConfig::table1());
-        b.iter(|| {
-            for i in 0..1024u64 {
-                let pc = 0x1000 + (i % 128) * 4;
-                let a = i % 4;
-                rb.insert(RbInsert {
-                    pc,
-                    op: vpir_isa::Op::Add,
-                    srcs: [
-                        Some((vpir_isa::Reg::int(2), a)),
-                        Some((vpir_isa::Reg::int(3), 7)),
-                    ],
-                    result: Some(a + 7),
-                    ..RbInsert::default()
-                });
-                let view = move |r: vpir_isa::Reg| {
-                    if r == vpir_isa::Reg::int(2) {
-                        OperandView::settled(a)
-                    } else {
-                        OperandView::settled(7)
-                    }
-                };
-                black_box(rb.lookup(pc, vpir_isa::Op::Add, &view, &[]));
-            }
-        })
-    });
-    g.finish();
-}
-
-fn bench_functional(c: &mut Criterion) {
+fn bench_functional() {
     let prog = asm::assemble(
         "       li   r1, 1000
  loop:  andi r2, r1, 15
@@ -106,39 +87,27 @@ fn bench_functional(c: &mut Criterion) {
         halt",
     )
     .expect("assembles");
-    let mut g = c.benchmark_group("functional_machine");
-    g.throughput(Throughput::Elements(4002));
-    g.bench_function("interp_4k_insts", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&prog);
-            m.run(10_000).expect("runs");
-            black_box(m.icount)
-        })
+    group("functional_machine").throughput(4002).bench("interp_4k_insts", || {
+        let mut m = Machine::new(&prog);
+        m.run(10_000).expect("runs");
+        black_box(m.icount)
     });
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let prog = Bench::Ijpeg.program(Scale::of(1));
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
-    g.bench_function("base_50k_cycles", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&prog, CoreConfig::table1());
-            sim.run(RunLimits::cycles(50_000));
-            black_box(sim.stats().committed)
-        })
+    group("pipeline").bench("base_50k_cycles", || {
+        let mut sim = Simulator::new(&prog, CoreConfig::table1());
+        sim.run(RunLimits::cycles(50_000));
+        black_box(sim.stats().committed)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_gshare,
-    bench_vpt,
-    bench_rb,
-    bench_functional,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_gshare();
+    bench_vpt();
+    bench_rb();
+    bench_functional();
+    bench_pipeline();
+}

@@ -1,10 +1,11 @@
-//! One Criterion group per paper figure: each target runs the reduced
+//! One group per paper figure: each target runs the reduced
 //! simulations behind the figure's data series. Run `experiments <fig>`
 //! for the full-scale series.
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+//!
+//! Run with `cargo bench -p vpir-bench --features bench`.
 
 use vpir_bench::matrix::run_one;
+use vpir_bench::microbench::{black_box, group};
 use vpir_core::{BranchResolution, CoreConfig, IrConfig, Validation, VpConfig};
 use vpir_redundancy::{analyze, LimitConfig};
 use vpir_workloads::{Bench, Scale};
@@ -12,139 +13,103 @@ use vpir_workloads::{Bench, Scale};
 const CYCLES: u64 = 60_000;
 
 /// Figure 3: early vs late validation.
-fn fig3_early_validation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.bench_function("early_vs_late", |b| {
-        b.iter(|| {
-            let early = run_one(
-                Bench::Perl,
-                Scale::of(1),
-                CoreConfig::with_ir(IrConfig::table1()),
-                CYCLES,
-            );
-            let late = run_one(
-                Bench::Perl,
-                Scale::of(1),
-                CoreConfig::with_ir(IrConfig {
-                    validation: Validation::Late,
-                    ..IrConfig::table1()
-                }),
-                CYCLES,
-            );
-            black_box((early.ipc(), late.ipc()))
-        })
+fn fig3_early_validation() {
+    group("fig3").bench("early_vs_late", || {
+        let early = run_one(
+            Bench::Perl,
+            Scale::of(1),
+            CoreConfig::with_ir(IrConfig::table1()),
+            CYCLES,
+        );
+        let late = run_one(
+            Bench::Perl,
+            Scale::of(1),
+            CoreConfig::with_ir(IrConfig {
+                validation: Validation::Late,
+                ..IrConfig::table1()
+            }),
+            CYCLES,
+        );
+        black_box((early.ipc(), late.ipc()))
     });
-    g.finish();
 }
 
 /// Figure 4: branch resolution latency across configurations.
-fn fig4_branch_resolution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
-    g.bench_function("resolution_latency", |b| {
-        b.iter(|| {
-            let sb = run_one(Bench::Go, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
-            let nsb = run_one(
-                Bench::Go,
-                Scale::of(1),
-                CoreConfig::with_vp(VpConfig::magic().with_branches(BranchResolution::Nsb)),
-                CYCLES,
-            );
-            let ir = run_one(Bench::Go, Scale::of(1), CoreConfig::with_ir(IrConfig::table1()), CYCLES);
-            black_box((
-                sb.branch_resolution_latency(),
-                nsb.branch_resolution_latency(),
-                ir.branch_resolution_latency(),
-            ))
-        })
+fn fig4_branch_resolution() {
+    group("fig4").bench("resolution_latency", || {
+        let sb = run_one(Bench::Go, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
+        let nsb = run_one(
+            Bench::Go,
+            Scale::of(1),
+            CoreConfig::with_vp(VpConfig::magic().with_branches(BranchResolution::Nsb)),
+            CYCLES,
+        );
+        let ir = run_one(Bench::Go, Scale::of(1), CoreConfig::with_ir(IrConfig::table1()), CYCLES);
+        black_box((
+            sb.branch_resolution_latency(),
+            nsb.branch_resolution_latency(),
+            ir.branch_resolution_latency(),
+        ))
     });
-    g.finish();
 }
 
 /// Figure 5: resource contention.
-fn fig5_contention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("contention", |b| {
-        b.iter(|| {
-            let base = run_one(Bench::Compress, Scale::of(1), CoreConfig::table1(), CYCLES);
-            let vp = run_one(Bench::Compress, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
-            let ir = run_one(Bench::Compress, Scale::of(1), CoreConfig::with_ir(IrConfig::table1()), CYCLES);
-            black_box((base.contention(), vp.contention(), ir.contention()))
-        })
+fn fig5_contention() {
+    group("fig5").bench("contention", || {
+        let base = run_one(Bench::Compress, Scale::of(1), CoreConfig::table1(), CYCLES);
+        let vp = run_one(Bench::Compress, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
+        let ir = run_one(Bench::Compress, Scale::of(1), CoreConfig::with_ir(IrConfig::table1()), CYCLES);
+        black_box((base.contention(), vp.contention(), ir.contention()))
     });
-    g.finish();
 }
 
 /// Figure 6: speedups of VP_Magic configurations and IR.
-fn fig6_speedup_magic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6");
-    g.sample_size(10);
-    g.bench_function("magic_speedups", |b| {
-        b.iter(|| {
-            let base = run_one(Bench::Ijpeg, Scale::of(1), CoreConfig::table1(), CYCLES);
-            let vp = run_one(Bench::Ijpeg, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
-            black_box(vp.ipc() / base.ipc().max(1e-9))
-        })
+fn fig6_speedup_magic() {
+    group("fig6").bench("magic_speedups", || {
+        let base = run_one(Bench::Ijpeg, Scale::of(1), CoreConfig::table1(), CYCLES);
+        let vp = run_one(Bench::Ijpeg, Scale::of(1), CoreConfig::with_vp(VpConfig::magic()), CYCLES);
+        black_box(vp.ipc() / base.ipc().max(1e-9))
     });
-    g.finish();
 }
 
 /// Figure 7: speedups of VP_LVP configurations.
-fn fig7_speedup_lvp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("lvp_speedups", |b| {
-        b.iter(|| {
-            let base = run_one(Bench::Gcc, Scale::of(1), CoreConfig::table1(), CYCLES);
-            let vp = run_one(Bench::Gcc, Scale::of(1), CoreConfig::with_vp(VpConfig::lvp()), CYCLES);
-            black_box(vp.ipc() / base.ipc().max(1e-9))
-        })
+fn fig7_speedup_lvp() {
+    group("fig7").bench("lvp_speedups", || {
+        let base = run_one(Bench::Gcc, Scale::of(1), CoreConfig::table1(), CYCLES);
+        let vp = run_one(Bench::Gcc, Scale::of(1), CoreConfig::with_vp(VpConfig::lvp()), CYCLES);
+        black_box(vp.ipc() / base.ipc().max(1e-9))
     });
-    g.finish();
 }
 
 /// Figures 8–10: the functional limit study.
-fn fig8_taxonomy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("classification", |b| {
-        let prog = Bench::M88ksim.program(Scale::of(1));
-        b.iter(|| black_box(analyze(&prog, 30_000, LimitConfig::default()).classification_pct()))
+fn fig8_taxonomy() {
+    let prog = Bench::M88ksim.program(Scale::of(1));
+    group("fig8").bench("classification", || {
+        black_box(analyze(&prog, 30_000, LimitConfig::default()).classification_pct())
     });
-    g.finish();
 }
 
-fn fig9_readiness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("readiness", |b| {
-        let prog = Bench::Vortex.program(Scale::of(1));
-        b.iter(|| black_box(analyze(&prog, 30_000, LimitConfig::default()).readiness_pct()))
+fn fig9_readiness() {
+    let prog = Bench::Vortex.program(Scale::of(1));
+    group("fig9").bench("readiness", || {
+        black_box(analyze(&prog, 30_000, LimitConfig::default()).readiness_pct())
     });
-    g.finish();
 }
 
-fn fig10_reusable(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("reusable_fraction", |b| {
-        let prog = Bench::Compress.program(Scale::of(1));
-        b.iter(|| black_box(analyze(&prog, 30_000, LimitConfig::default()).reusable_pct()))
+fn fig10_reusable() {
+    let prog = Bench::Compress.program(Scale::of(1));
+    group("fig10").bench("reusable_fraction", || {
+        black_box(analyze(&prog, 30_000, LimitConfig::default()).reusable_pct())
     });
-    g.finish();
 }
 
-criterion_group!(
-    figures,
-    fig3_early_validation,
-    fig4_branch_resolution,
-    fig5_contention,
-    fig6_speedup_magic,
-    fig7_speedup_lvp,
-    fig8_taxonomy,
-    fig9_readiness,
-    fig10_reusable
-);
-criterion_main!(figures);
+fn main() {
+    fig3_early_validation();
+    fig4_branch_resolution();
+    fig5_contention();
+    fig6_speedup_magic();
+    fig7_speedup_lvp();
+    fig8_taxonomy();
+    fig9_readiness();
+    fig10_reusable();
+}

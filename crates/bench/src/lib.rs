@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod matrix;
+pub mod microbench;
 pub mod report;
 
 pub use matrix::{BenchRuns, Matrix, MatrixConfig, VpKey};

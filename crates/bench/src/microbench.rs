@@ -1,0 +1,90 @@
+//! A minimal wall-clock benchmarking harness.
+//!
+//! The workspace is offline-buildable and therefore cannot depend on
+//! criterion; this module provides the small slice the bench targets
+//! need: named groups, warm-up, repeated sampling, median/min
+//! reporting, and optional per-element throughput.
+//!
+//! ```no_run
+//! use vpir_bench::microbench::{black_box, group};
+//!
+//! let mut g = group("cache");
+//! g.throughput(1024).bench("access_1k", || {
+//!     for i in 0..1024u64 {
+//!         black_box(i * 3);
+//!     }
+//! });
+//! ```
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Timed invocations discarded before sampling starts.
+const WARMUP: u32 = 3;
+/// Timed samples per benchmark.
+const SAMPLES: usize = 10;
+
+/// Starts a named group of benchmarks.
+pub fn group(name: &str) -> Group {
+    Group {
+        name: name.to_string(),
+        elements: None,
+    }
+}
+
+/// A named collection of benchmarks sharing an optional throughput.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    elements: Option<u64>,
+}
+
+impl Group {
+    /// Reports results as time per element over `elements` work items.
+    pub fn throughput(&mut self, elements: u64) -> &mut Group {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Times `f`, printing the median and minimum over the samples.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Group {
+        for _ in 0..WARMUP {
+            black_box(f());
+        }
+        let mut samples = [0u64; SAMPLES];
+        for s in &mut samples {
+            let start = Instant::now();
+            black_box(f());
+            *s = start.elapsed().as_nanos() as u64;
+        }
+        samples.sort_unstable();
+        let median = samples[SAMPLES / 2];
+        let min = samples[0];
+        let mut line = format!(
+            "{}/{name}: median {}, min {}",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(min)
+        );
+        if let Some(elems) = self.elements {
+            if elems > 0 {
+                line.push_str(&format!(" ({}/elem)", fmt_ns(median / elems)));
+            }
+        }
+        println!("{line}");
+        self
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}

@@ -1,44 +1,41 @@
 //! Property-based tests for the branch-prediction structures.
 
-use proptest::prelude::*;
-
 use vpir_branch::{Bimodal, DirectionPredictor, Gshare, ReturnStack, TargetTable};
+use vpir_testkit::check;
 
-proptest! {
-    /// The return stack behaves like a bounded Vec-based stack model.
-    #[test]
-    fn ras_matches_vec_model(
-        capacity in 1usize..12,
-        ops in proptest::collection::vec(prop_oneof![
-            (0u64..1000).prop_map(Some),
-            Just(None),
-        ], 1..80),
-    ) {
+/// The return stack behaves like a bounded Vec-based stack model.
+#[test]
+fn ras_matches_vec_model() {
+    check("ras_matches_vec_model", 256, |rng| {
+        let capacity = rng.gen_range(1usize..12);
         let mut ras = ReturnStack::new(capacity);
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
-                Some(addr) => {
-                    ras.push(addr);
-                    model.push(addr);
-                    if model.len() > capacity {
-                        model.remove(0);
-                    }
+        for _ in 0..rng.gen_range(1usize..80) {
+            if rng.gen_bool(0.5) {
+                let addr = rng.gen_range(0u64..1000);
+                ras.push(addr);
+                model.push(addr);
+                if model.len() > capacity {
+                    model.remove(0);
                 }
-                None => {
-                    prop_assert_eq!(ras.pop(), model.pop());
-                }
+            } else {
+                assert_eq!(ras.pop(), model.pop());
             }
-            prop_assert_eq!(ras.depth(), model.len());
+            assert_eq!(ras.depth(), model.len());
         }
-    }
+    });
+}
 
-    /// Checkpoint/restore returns the stack to exactly the saved state.
-    #[test]
-    fn ras_checkpoint_roundtrip(
-        initial in proptest::collection::vec(0u64..1000, 0..10),
-        tamper in proptest::collection::vec(0u64..1000, 0..10),
-    ) {
+/// Checkpoint/restore returns the stack to exactly the saved state.
+#[test]
+fn ras_checkpoint_roundtrip() {
+    check("ras_checkpoint_roundtrip", 256, |rng| {
+        let initial: Vec<u64> = (0..rng.gen_range(0usize..10))
+            .map(|_| rng.gen_range(0u64..1000))
+            .collect();
+        let tamper: Vec<u64> = (0..rng.gen_range(0usize..10))
+            .map(|_| rng.gen_range(0u64..1000))
+            .collect();
         let mut ras = ReturnStack::new(16);
         for a in &initial {
             ras.push(*a);
@@ -55,18 +52,18 @@ proptest! {
             drained.push(a);
         }
         drained.reverse();
-        prop_assert_eq!(drained, initial);
-    }
+        assert_eq!(drained, initial);
+    });
+}
 
-    /// Gshare predictions are pure given the same history and table: the
-    /// token returned by predict always reproduces the same counter.
-    #[test]
-    fn gshare_update_trains_the_predicting_counter(
-        pcs in proptest::collection::vec(0u64..4096, 1..60),
-    ) {
+/// Gshare predictions are pure given the same history and table: the
+/// token returned by predict always reproduces the same counter.
+#[test]
+fn gshare_update_trains_the_predicting_counter() {
+    check("gshare_update_trains_the_predicting_counter", 128, |rng| {
         let mut bp = Gshare::new(12, 8);
-        for pc in pcs {
-            let pc = 0x1000 + pc * 4;
+        for _ in 0..rng.gen_range(1usize..60) {
+            let pc = 0x1000 + rng.gen_range(0u64..4096) * 4;
             let (_, token) = bp.predict(pc);
             // Train taken 3x against the same token: a fresh predictor
             // with that exact history must then predict taken.
@@ -78,13 +75,15 @@ proptest! {
             // No assertion on direction (history differs), but training
             // must never panic or corrupt state; a full sweep follows.
         }
-    }
+    });
+}
 
-    /// A strongly biased branch stream converges to high accuracy for
-    /// both predictors.
-    #[test]
-    fn biased_stream_converges(seed_pc in 0u64..1024) {
-        let pc = 0x4000 + seed_pc * 4;
+/// A strongly biased branch stream converges to high accuracy for
+/// both predictors.
+#[test]
+fn biased_stream_converges() {
+    check("biased_stream_converges", 64, |rng| {
+        let pc = 0x4000 + rng.gen_range(0u64..1024) * 4;
         for mode in 0..2 {
             let mut correct = 0;
             let mut total = 0;
@@ -108,29 +107,29 @@ proptest! {
                     b.update(pc, taken, token);
                 }
             }
-            prop_assert!(
+            assert!(
                 correct as f64 / total as f64 > 0.9,
-                "mode {} converged to {}/{}", mode, correct, total
+                "mode {mode} converged to {correct}/{total}"
             );
         }
-    }
+    });
+}
 
-    /// The target table never returns a target it was not taught.
-    #[test]
-    fn target_table_returns_only_taught_targets(
-        updates in proptest::collection::vec((0u64..256, 0u64..1_000_000), 1..60),
-        probe in 0u64..256,
-    ) {
+/// The target table never returns a target it was not taught.
+#[test]
+fn target_table_returns_only_taught_targets() {
+    check("target_table_returns_only_taught_targets", 256, |rng| {
         let mut tt = TargetTable::new(64);
         let mut taught = std::collections::HashMap::new();
-        for (pc, target) in &updates {
-            let pc = 0x1000 + pc * 4;
-            tt.update(pc, *target);
-            taught.insert(pc, *target);
+        for _ in 0..rng.gen_range(1usize..60) {
+            let pc = 0x1000 + rng.gen_range(0u64..256) * 4;
+            let target = rng.gen_range(0u64..1_000_000);
+            tt.update(pc, target);
+            taught.insert(pc, target);
         }
-        let probe_pc = 0x1000 + probe * 4;
+        let probe_pc = 0x1000 + rng.gen_range(0u64..256) * 4;
         if let Some(t) = tt.predict(probe_pc) {
-            prop_assert_eq!(Some(&t), taught.get(&probe_pc), "stale or foreign target");
+            assert_eq!(Some(&t), taught.get(&probe_pc), "stale or foreign target");
         }
-    }
+    });
 }

@@ -34,13 +34,7 @@ impl FuPool {
     /// Creates a pool with `counts[FuClass::index()]` units per class.
     pub fn new(counts: [usize; 5]) -> FuPool {
         FuPool {
-            busy_until: [
-                vec![0; counts[0]],
-                vec![0; counts[1]],
-                vec![0; counts[2]],
-                vec![0; counts[3]],
-                vec![0; counts[4]],
-            ],
+            busy_until: counts.map(|n| vec![0; n]),
             requests: 0,
             denials: 0,
         }

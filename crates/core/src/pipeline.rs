@@ -11,7 +11,10 @@
 //! dependence chains, and branches executed on wrong values squash down
 //! genuinely spurious paths.
 
-use std::collections::{HashMap, VecDeque};
+// BTreeMap (not HashMap) for keyed pipeline state: iteration order is
+// part of the simulated machine's behaviour, so it must not depend on
+// hash seeding. `vpir-analyze` rule R1 enforces this.
+use std::collections::{BTreeMap, VecDeque};
 
 use vpir_branch::{Bimodal, DirectionPredictor, Gshare, ReturnStack, StaticTaken, TargetTable};
 use vpir_isa::{
@@ -214,7 +217,7 @@ pub struct Simulator {
     arch_regs: RegFile,
     rob: Rob,
     map: Vec<Option<(usize, u64)>>,
-    checkpoints: HashMap<u64, Checkpoint>,
+    checkpoints: BTreeMap<u64, Checkpoint>,
 
     // Back end.
     dcache: Cache,
@@ -225,7 +228,7 @@ pub struct Simulator {
     vp_result: Option<Vp>,
     vp_addr: Option<Vp>,
     rb: Option<ReuseBuffer>,
-    reuse_profile: HashMap<u64, (u64, u64)>,
+    reuse_profile: BTreeMap<u64, (u64, u64)>,
     trace: Option<TraceLog>,
 
     halted: bool,
@@ -276,14 +279,14 @@ impl Simulator {
             arch_regs,
             rob: Rob::new(config.rob_size),
             map: vec![None; vpir_isa::NUM_REGS],
-            checkpoints: HashMap::new(),
+            checkpoints: BTreeMap::new(),
             dcache: Cache::new(config.dcache),
             dports: PortArbiter::new(config.dcache_ports),
             fus: FuPool::new(config.fu_counts),
             vp_result,
             vp_addr,
             rb,
-            reuse_profile: HashMap::new(),
+            reuse_profile: BTreeMap::new(),
             trace: None,
             halted: false,
             stats: SimStats::default(),
@@ -326,9 +329,10 @@ impl Simulator {
     }
 
     /// Per-PC `(full, address)` reuse counts for committed instructions
-    /// (empty unless IR is enabled). Useful for diagnosing which static
-    /// instructions benefit from the reuse buffer.
-    pub fn reuse_profile(&self) -> &HashMap<u64, (u64, u64)> {
+    /// (empty unless IR is enabled), ordered by PC. Useful for
+    /// diagnosing which static instructions benefit from the reuse
+    /// buffer.
+    pub fn reuse_profile(&self) -> &BTreeMap<u64, (u64, u64)> {
         &self.reuse_profile
     }
 
@@ -409,10 +413,10 @@ impl Simulator {
                     self.stats.port_denials += 1;
                     break;
                 }
-                let addr = head.out.addr.expect("store addr");
+                let addr = head.out.addr.expect("store addr"); // vpir: allow(panic, a store that passed can_commit has executed its address computation)
                 self.dcache.access(self.now, addr, true);
             }
-            let e = self.rob.pop_front().expect("head exists");
+            let Some(e) = self.rob.pop_front() else { break };
             self.retire(e);
             if self.halted {
                 return;
@@ -482,7 +486,7 @@ impl Simulator {
             self.stats.mem_ops += 1;
             if !mem.is_load {
                 if let Some(rb) = self.rb.as_mut() {
-                    rb.on_store(e.out.addr.expect("store addr"), mem.width);
+                    rb.on_store(e.out.addr.expect("store addr"), mem.width); // vpir: allow(panic, committed stores carry their architectural address)
                 }
             }
         }
@@ -493,7 +497,7 @@ impl Simulator {
             match e.inst.op.class() {
                 OpClass::Branch => {
                     self.stats.branches += 1;
-                    let actual = e.out.control.expect("branch outcome").taken;
+                    let actual = e.out.control.expect("branch outcome").taken; // vpir: allow(panic, functional execution computes an outcome for every branch)
                     self.bp.update(e.pc, actual, ctrl.bp_token);
                     if ctrl.original_taken != actual {
                         self.stats.branch_mispredicts += 1;
@@ -502,7 +506,7 @@ impl Simulator {
                     self.stats.branch_resolution_count += 1;
                 }
                 OpClass::JumpReg => {
-                    let target = e.out.control.expect("jump target").target;
+                    let target = e.out.control.expect("jump target").target; // vpir: allow(panic, functional execution computes a target for every indirect jump)
                     if e.inst.is_return() {
                         self.stats.returns += 1;
                         if ctrl.original_target != target {
@@ -519,22 +523,23 @@ impl Simulator {
         }
 
         // Value-prediction training and accounting.
-        if e.writes_reg() && e.inst.op.class() != OpClass::Jump {
-            self.stats.result_producers += 1;
-            let actual = e.out.result.expect("result");
-            if let Some(vp) = self.vp_result.as_mut() {
-                vp.train(e.pc, actual);
-            }
-            if let Some(p) = e.predicted {
-                self.stats.result_predicted += 1;
-                if p == actual {
-                    self.stats.result_pred_correct += 1;
+        if e.inst.dst.is_some() && e.inst.op.class() != OpClass::Jump {
+            if let Some(actual) = e.out.result {
+                self.stats.result_producers += 1;
+                if let Some(vp) = self.vp_result.as_mut() {
+                    vp.train(e.pc, actual);
+                }
+                if let Some(p) = e.predicted {
+                    self.stats.result_predicted += 1;
+                    if p == actual {
+                        self.stats.result_pred_correct += 1;
+                    }
                 }
             }
         }
         if let Some(mem) = &e.mem {
             if mem.is_load {
-                let actual = e.out.addr.expect("load addr");
+                let actual = e.out.addr.expect("load addr"); // vpir: allow(panic, functional execution computes an address for every load)
                 if let Some(vp) = self.vp_addr.as_mut() {
                     vp.train(e.pc, actual);
                 }
@@ -596,15 +601,15 @@ impl Simulator {
         let verify_latency = self.verify_latency();
         // Recompute the value produced with the inputs that were used.
         let (rv, computed_ctrl, computed_addr) = {
-            let e = self.rob.get(slot).expect("entry exists");
-            let inputs = pe.inputs;
+            let e = self.rob.entry(slot);
+            let [in1, in2] = pe.inputs;
             let inst = e.inst;
             let pc = e.pc;
             let read = |r: Reg| {
                 if Some(r) == inst.src1 {
-                    inputs[0].unwrap_or(0)
+                    in1.unwrap_or(0)
                 } else if Some(r) == inst.src2 {
-                    inputs[1].unwrap_or(0)
+                    in2.unwrap_or(0)
                 } else {
                     0
                 }
@@ -617,7 +622,7 @@ impl Simulator {
             )
         };
 
-        let e = self.rob.get_mut(slot).expect("entry exists");
+        let e = self.rob.entry_mut(slot);
         e.exec = None;
         e.exec_count += 1;
         self.stats.executions += 1;
@@ -625,7 +630,7 @@ impl Simulator {
         if let Some(t) = self.trace.as_mut() {
             t.on_complete(seq, pe.finish);
         }
-        let e = self.rob.get_mut(slot).expect("entry exists");
+        let e = self.rob.entry_mut(slot);
         e.last_inputs = pe.inputs;
         e.last_inputs_correct = pe.inputs_correct;
         e.last_inputs_final = pe.inputs_final;
@@ -710,7 +715,7 @@ impl Simulator {
         if self.rb.is_none() {
             return;
         }
-        let e = self.rob.get(slot).expect("entry exists");
+        let e = self.rob.entry(slot);
         if e.reused {
             return;
         }
@@ -742,7 +747,7 @@ impl Simulator {
             e.out.result
         };
         let mem = e.mem.as_ref().map(|m| RbMem {
-            addr: e.out.addr.expect("memory op address"),
+            addr: e.out.addr.expect("memory op address"), // vpir: allow(panic, functional execution computes an address for every memory op)
             width: m.width,
         });
         // For loads, only record the full entry once the access finished
@@ -768,7 +773,8 @@ impl Simulator {
         };
         let pc = e.pc;
         let seq = e.seq;
-        let entry = self.rb.as_mut().expect("rb present").insert(rec);
+        let Some(rb) = self.rb.as_mut() else { return };
+        let entry = rb.insert(rec);
         let _ = pc;
         if let Some(e) = self.rob.get_mut(slot) {
             if e.seq == seq {
@@ -812,7 +818,7 @@ impl Simulator {
                 continue;
             }
             if self.inputs_final_now(e) {
-                let e = self.rob.get_mut(slot).expect("entry exists");
+                let e = self.rob.entry_mut(slot);
                 e.nonspec_cycle = Some(self.now);
             }
         }
@@ -861,21 +867,21 @@ impl Simulator {
     /// Acts on a computed branch outcome; returns whether it squashed.
     fn act_on_branch(&mut self, slot: usize, taken: bool, target: u64, is_final: bool) -> bool {
         let (seq, followed_taken, followed_target, fallthrough, true_outcome, is_cond, token) = {
-            let e = self.rob.get(slot).expect("entry exists");
-            let ctrl = e.ctrl.as_ref().expect("ctrl entry");
+            let e = self.rob.entry(slot);
+            let ctrl = e.ctrl.as_ref().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
             (
                 e.seq,
                 ctrl.followed_taken,
                 ctrl.followed_target,
                 e.pc.wrapping_add(INST_BYTES),
-                e.out.control.expect("control outcome"),
+                e.out.control.expect("control outcome"), // vpir: allow(panic, functional execution computes an outcome for every control inst)
                 e.inst.op.class() == OpClass::Branch,
                 ctrl.bp_token,
             )
         };
         {
-            let e = self.rob.get_mut(slot).expect("entry exists");
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            let e = self.rob.entry_mut(slot);
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
             ctrl.acted_count = e.exec_count;
         }
 
@@ -896,15 +902,15 @@ impl Simulator {
             let spurious = computed_next != true_next;
             let bp_fix = if is_cond { Some((token, taken)) } else { None };
             self.squash_to(seq, computed_next, spurious, bp_fix);
-            let e = self.rob.get_mut(slot).expect("entry exists");
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            let e = self.rob.entry_mut(slot);
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
             ctrl.followed_taken = taken;
             ctrl.followed_target = if taken { target } else { followed_target };
         }
 
         if is_final {
-            let e = self.rob.get_mut(slot).expect("entry exists");
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry");
+            let e = self.rob.entry_mut(slot);
+            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
             ctrl.resolved = true;
             ctrl.resolve_cycle = self.now;
             self.checkpoints.remove(&seq);
@@ -952,6 +958,19 @@ impl Simulator {
             }
         }
 
+        // Register writes on the squashed path never become architectural,
+        // so no commit-time invalidation will ever fire for them — but RB
+        // entries recorded at writeback may have captured the speculative
+        // values. Collect the overwritten registers now and re-notify the
+        // RB with their restored values once the rollback below completes.
+        let mut squashed_dsts: Vec<Reg> = dropped
+            .iter()
+            .filter(|d| d.out.result.is_some())
+            .filter_map(|d| d.inst.dst)
+            .collect();
+        squashed_dsts.sort_unstable_by_key(|r| r.index());
+        squashed_dsts.dedup();
+
         // Restore rename map and RAS from the squashing branch's
         // checkpoint (direct jumps never squash, so one always exists).
         if let Some(cp) = self.checkpoints.get(&seq) {
@@ -966,6 +985,11 @@ impl Simulator {
 
         // Roll back speculative architectural state and restart fetch.
         self.spec.rollback_to(seq);
+        if let Some(rb) = self.rb.as_mut() {
+            for reg in squashed_dsts {
+                rb.on_reg_write(reg, self.spec.regs().read(reg));
+            }
+        }
         self.fetch_queue.clear();
         self.fetch_pc = next_pc;
         self.fetch_halted = false;
@@ -1044,7 +1068,7 @@ impl Simulator {
             };
 
             let value = {
-                let e = self.rob.get(slot).expect("entry exists");
+                let e = self.rob.entry(slot);
                 if Some(addr) == e.out.addr {
                     e.out.result.unwrap_or(0)
                 } else {
@@ -1054,8 +1078,8 @@ impl Simulator {
                 }
             };
             let vl = self.verify_latency();
-            let e = self.rob.get_mut(slot).expect("entry exists");
-            let mem = e.mem.as_mut().expect("mem state");
+            let e = self.rob.entry_mut(slot);
+            let mem = e.mem.as_mut().expect("mem state"); // vpir: allow(panic, slot was filtered to loads at the top of this loop)
             mem.access_finish = Some(finish);
             mem.accessed_addr = Some(addr);
             match e.visible {
@@ -1210,7 +1234,7 @@ impl Simulator {
                 }
                 fin
             };
-            let e = self.rob.get_mut(slot).expect("entry exists");
+            let e = self.rob.entry_mut(slot);
             e.exec = Some(PendingExec {
                 finish: self.now + latency,
                 inputs,
@@ -1230,6 +1254,7 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn dispatch(&mut self) {
+        let mut lsq_used = self.in_flight_mem_ops();
         for _ in 0..self.config.decode_width {
             if self.rob.is_full() {
                 break;
@@ -1242,12 +1267,28 @@ impl Simulator {
             if needs_checkpoint && self.checkpoints.len() >= self.config.max_branches {
                 break;
             }
-            let f = self.fetch_queue.pop_front().expect("peeked");
+            let is_mem = matches!(f.inst.op.class(), OpClass::Load | OpClass::Store);
+            if is_mem && lsq_used >= self.config.lsq_size {
+                break; // LSQ full: decode stalls at the memory op
+            }
+            if is_mem {
+                lsq_used += 1;
+            }
+            let Some(f) = self.fetch_queue.pop_front() else { break };
             let redirected = self.dispatch_one(f);
             if self.halted || redirected {
                 break;
             }
         }
+    }
+
+    /// Memory operations currently occupying load/store-queue entries
+    /// (dispatched and not yet committed or squashed).
+    fn in_flight_mem_ops(&self) -> usize {
+        self.rob
+            .slots_in_order()
+            .filter(|&s| self.rob.get(s).is_some_and(|e| e.mem.is_some()))
+            .count()
     }
 
     /// Dispatches one instruction; returns `true` if a reused branch
@@ -1331,7 +1372,7 @@ impl Simulator {
             OpClass::Load | OpClass::Store => {
                 entry.mem = Some(MemState {
                     is_load: inst.op.class() == OpClass::Load,
-                    width: inst.op.mem_width().expect("memory width"),
+                    width: inst.op.mem_width().expect("memory width"), // vpir: allow(panic, Load/Store opcodes always define an access width)
                     addr_known: None,
                     computed_addr: None,
                     access_finish: None,
@@ -1343,7 +1384,7 @@ impl Simulator {
 
         // Control state + checkpoint.
         if matches!(inst.op.class(), OpClass::Branch | OpClass::JumpReg) {
-            let pred = f.pred.as_ref().expect("control insts carry predictions");
+            let pred = f.pred.as_ref().expect("control insts carry predictions"); // vpir: allow(panic, fetch attaches a prediction to every branch and indirect jump)
             self.checkpoints.insert(
                 seq,
                 Checkpoint {
@@ -1363,7 +1404,7 @@ impl Simulator {
                 acted_count: 0,
             });
         } else if inst.op.class() == OpClass::Jump {
-            let target = out.control.expect("jump target").target;
+            let target = out.control.expect("jump target").target; // vpir: allow(panic, direct jumps always compute a control outcome)
             entry.ctrl = Some(CtrlState {
                 followed_taken: true,
                 followed_target: target,
@@ -1418,7 +1459,7 @@ impl Simulator {
                 .rob
                 .get(slot)
                 .and_then(|e| e.computed_ctrl)
-                .expect("reused branch has an outcome");
+                .expect("reused branch has an outcome"); // vpir: allow(panic, dispatch_ir records computed_ctrl before marking a branch reused)
             return self.act_on_branch(slot, taken, target, true);
         }
         false
@@ -1465,7 +1506,7 @@ impl Simulator {
         for (i, src) in [entry.inst.src1, entry.inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
             let view = match entry.producers[i] {
-                None => OperandView::settled(entry.src_values[i].expect("read at dispatch")),
+                None => OperandView::settled(entry.src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
                 Some((slot, pseq)) => match self.rob.get(slot) {
                     Some(p) if p.seq == pseq => {
                         let known = p.reused || p.nonspec(self.now);
@@ -1478,7 +1519,7 @@ impl Simulator {
                             OperandView::in_flight(p.pc)
                         }
                     }
-                    _ => OperandView::settled(entry.src_values[i].expect("read at dispatch")),
+                    _ => OperandView::settled(entry.src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
                 },
             };
             views[i] = (Some(reg), view);
@@ -1509,7 +1550,7 @@ impl Simulator {
             })
             .collect();
 
-        let rb = self.rb.as_mut().expect("IR has a reuse buffer");
+        let Some(rb) = self.rb.as_mut() else { return };
         let Some(mut hit) = rb.lookup(entry.pc, op, &lookup_view, &reused_now) else {
             return;
         };
@@ -1518,8 +1559,8 @@ impl Simulator {
         // overlaps its address, the buffered value may be stale relative
         // to this path — only the address computation is reusable.
         if hit.full && op.class() == OpClass::Load {
-            let laddr = entry.out.addr.expect("load address");
-            let lend = laddr + entry.mem.as_ref().expect("mem state").width.bytes();
+            let laddr = entry.out.addr.expect("load address"); // vpir: allow(panic, functional execution computes an address for every load)
+            let lend = laddr + entry.mem.as_ref().expect("mem state").width.bytes(); // vpir: allow(panic, loads always carry mem state from dispatch)
             let conflict = self.rob.slots_in_order().any(|s| {
                 self.rob.get(s).is_some_and(|older| {
                     older.mem.as_ref().is_some_and(|m| {

@@ -255,6 +255,27 @@ impl Rob {
         self.slots[slot].as_mut()
     }
 
+    /// Entry at a slot known to be occupied (an index obtained from
+    /// [`Rob::slots_in_order`] or [`Rob::push`] this cycle, with no
+    /// intervening pop or squash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty — that is a pipeline bookkeeping bug,
+    /// not a recoverable condition.
+    pub fn entry(&self, slot: usize) -> &RobEntry {
+        self.slots[slot].as_ref().expect("live ROB slot") // vpir: allow(panic, caller holds a live slot index from this cycle; an empty slot is a pipeline bug)
+    }
+
+    /// Mutable counterpart of [`Rob::entry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty (see [`Rob::entry`]).
+    pub fn entry_mut(&mut self, slot: usize) -> &mut RobEntry {
+        self.slots[slot].as_mut().expect("live ROB slot") // vpir: allow(panic, caller holds a live slot index from this cycle; an empty slot is a pipeline bug)
+    }
+
     /// Slot indices in age order (oldest first).
     pub fn slots_in_order(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).map(move |i| (self.head + i) % self.slots.len())
@@ -266,9 +287,12 @@ impl Rob {
         let mut dropped = Vec::new();
         while self.len > 0 {
             let tail = (self.head + self.len - 1) % self.slots.len();
-            let victim = match &self.slots[tail] {
-                Some(e) if e.seq > seq => self.slots[tail].take().expect("occupied"),
-                _ => break,
+            let victim = match self.slots[tail].take() {
+                Some(e) if e.seq > seq => e,
+                other => {
+                    self.slots[tail] = other;
+                    break;
+                }
             };
             dropped.push(victim);
             self.len -= 1;

@@ -101,18 +101,10 @@ impl SpecState {
 
     /// Undoes every write performed by instructions with `seq > keep_seq`.
     pub fn rollback_to(&mut self, keep_seq: u64) {
-        while let Some(u) = self.reg_log.last() {
-            if u.seq <= keep_seq {
-                break;
-            }
-            let u = self.reg_log.pop().expect("just peeked");
+        while let Some(u) = self.reg_log.pop_if(|u| u.seq > keep_seq) {
             self.regs.write(u.reg, u.old);
         }
-        while let Some(u) = self.mem_log.last() {
-            if u.seq <= keep_seq {
-                break;
-            }
-            let u = self.mem_log.pop().expect("just peeked");
+        while let Some(u) = self.mem_log.pop_if(|u| u.seq > keep_seq) {
             self.mem.write(u.addr, u.width, u.old);
         }
     }

@@ -207,8 +207,9 @@ impl SimStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "cycles {}  committed {}  IPC {:.3}",
+            "cycles {}  dispatched {}  committed {}  IPC {:.3}",
             self.cycles,
+            self.dispatched,
             self.committed,
             self.ipc()
         );
@@ -231,6 +232,14 @@ impl SimStats {
                 self.vp_addr_rate(),
                 self.vp_addr_mispred_rate()
             );
+            let _ = writeln!(
+                out,
+                "    covered {:.1}% of {} result producers; VPT {} lookups (+{} addr)",
+                pct(self.result_predicted, self.result_producers),
+                self.result_producers,
+                self.vpt_result.lookups,
+                self.vpt_addr.lookups
+            );
         }
         if self.reused_full > 0 || self.reused_addr > 0 {
             let _ = writeln!(
@@ -239,7 +248,23 @@ impl SimStats {
                 self.reuse_result_rate(),
                 self.reuse_addr_rate()
             );
+            let _ = writeln!(
+                out,
+                "    RB: {} inserts, {} evictions, {} reg / {} mem invalidations",
+                self.rb.inserts,
+                self.rb.evictions,
+                self.rb.reg_invalidations,
+                self.rb.mem_invalidations
+            );
         }
+        let _ = writeln!(
+            out,
+            "caches: icache {}/{} hits  dcache {}/{} hits",
+            self.icache.hits,
+            self.icache.accesses(),
+            self.dcache.hits,
+            self.dcache.accesses()
+        );
         let _ = writeln!(
             out,
             "resources: {:.2}% contention  |  exec histogram {:?}",

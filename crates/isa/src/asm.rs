@@ -478,11 +478,19 @@ fn emit_data(
             }
         }
         ".space" => {
-            let n = parse_u64(&args[0], line)?;
+            let arg = args.first().ok_or_else(|| AsmError {
+                line,
+                msg: ".space needs a size".into(),
+            })?;
+            let n = parse_u64(arg, line)?;
             bytes.resize(bytes.len() + n as usize, 0);
         }
         ".asciiz" => {
-            bytes.extend_from_slice(&unquote(&args[0], line)?);
+            let arg = args.first().ok_or_else(|| AsmError {
+                line,
+                msg: ".asciiz needs a string".into(),
+            })?;
+            bytes.extend_from_slice(&unquote(arg, line)?);
             bytes.push(0);
         }
         ".align" => {
@@ -567,8 +575,14 @@ fn encode(
             )
         }
     };
-    let reg = |i: usize| parse_reg(&args[i], line);
-    let imm = |i: usize| parse_imm(&args[i], labels, line);
+    let arg = |i: usize| -> Result<&str, AsmError> {
+        args.get(i).map(String::as_str).ok_or_else(|| AsmError {
+            line,
+            msg: format!("`{mnemonic}` is missing operand {}", i + 1),
+        })
+    };
+    let reg = |i: usize| parse_reg(arg(i)?, line);
+    let imm = |i: usize| parse_imm(arg(i)?, labels, line);
 
     // Pseudo-instructions first.
     match mnemonic {
@@ -584,7 +598,7 @@ fn encode(
                     Inst::rri(Op::Lui, dst, Reg::ZERO, (v >> 16) & 0xffff),
                     Inst::rri(Op::Ori, dst, dst, v & 0xffff),
                 ]
-            } else if parse_i64_raw(&args[1]).is_none() {
+            } else if parse_i64_raw(arg(1)?).is_none() {
                 // li with a label: fixed la-style expansion.
                 vec![
                     Inst::rri(Op::Lui, dst, Reg::ZERO, (v >> 16) & 0xffff),
@@ -645,12 +659,12 @@ fn encode(
         }
         Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | LdF => {
             need(2)?;
-            let (disp, base) = parse_mem_operand(&args[1], labels, line)?;
+            let (disp, base) = parse_mem_operand(arg(1)?, labels, line)?;
             Inst::mem(op, reg(0)?, base, disp)
         }
         Sb | Sh | Sw | Sd | SdF => {
             need(2)?;
-            let (disp, base) = parse_mem_operand(&args[1], labels, line)?;
+            let (disp, base) = parse_mem_operand(arg(1)?, labels, line)?;
             Inst::store(op, reg(0)?, base, disp)
         }
         Beq | Bne => {

@@ -207,7 +207,7 @@ impl Cache {
         let victim = self.sets[set]
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("assoc > 0");
+            .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
         victim.tag = tag;
         victim.valid = true;
         victim.lru = self.tick;

@@ -3,9 +3,8 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use vpir_mem::{Cache, CacheConfig, PortArbiter};
+use vpir_testkit::check;
 
 /// A straightforward reference model of a set-associative LRU cache.
 struct RefCache {
@@ -50,68 +49,77 @@ fn small_config() -> CacheConfig {
     }
 }
 
-proptest! {
-    /// Hit/miss classification matches the reference LRU model when
-    /// accesses are spaced out (no overlapping misses).
-    #[test]
-    fn matches_reference_lru(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+/// Hit/miss classification matches the reference LRU model when
+/// accesses are spaced out (no overlapping misses).
+#[test]
+fn matches_reference_lru() {
+    check("matches_reference_lru", 256, |rng| {
         let cfg = small_config();
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(&cfg);
         let mut t = 0u64;
-        for addr in addrs {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let addr = rng.gen_range(0u64..0x4000);
             t += 100; // far enough apart that every miss has completed
             let expect = reference.access(addr);
             let got = cache.access(t, addr, false);
-            prop_assert_eq!(got.hit, expect, "addr {:#x} at {}", addr, t);
+            assert_eq!(got.hit, expect, "addr {addr:#x} at {t}");
         }
-    }
+    });
+}
 
-    /// Data is never ready before the hit latency nor later than a full
-    /// miss, and hits are strictly faster than cold misses.
-    #[test]
-    fn latency_bounds(addrs in proptest::collection::vec(0u64..0x4000, 1..100)) {
+/// Data is never ready before the hit latency nor later than a full
+/// miss, and hits are strictly faster than cold misses.
+#[test]
+fn latency_bounds() {
+    check("latency_bounds", 256, |rng| {
         let cfg = small_config();
         let mut cache = Cache::new(cfg);
         let mut t = 0u64;
-        for addr in addrs {
+        for _ in 0..rng.gen_range(1usize..100) {
+            let addr = rng.gen_range(0u64..0x4000);
             t += 50;
             let out = cache.access(t, addr, false);
             let delay = out.ready_cycle - t;
-            prop_assert!(delay >= cfg.hit_latency as u64);
-            prop_assert!(delay <= (cfg.hit_latency + cfg.miss_latency) as u64);
+            assert!(delay >= cfg.hit_latency as u64);
+            assert!(delay <= (cfg.hit_latency + cfg.miss_latency) as u64);
             if out.hit {
-                prop_assert_eq!(delay, cfg.hit_latency as u64);
+                assert_eq!(delay, cfg.hit_latency as u64);
             }
         }
-    }
+    });
+}
 
-    /// Stats add up: hits + misses + merges equals accesses.
-    #[test]
-    fn stats_are_consistent(addrs in proptest::collection::vec(0u64..0x2000, 1..100)) {
+/// Stats add up: hits + misses + merges equals accesses.
+#[test]
+fn stats_are_consistent() {
+    check("stats_are_consistent", 256, |rng| {
         let mut cache = Cache::new(small_config());
-        for (i, addr) in addrs.iter().enumerate() {
-            cache.access(i as u64, *addr, i % 3 == 0);
+        let n = rng.gen_range(1usize..100);
+        for i in 0..n {
+            let addr = rng.gen_range(0u64..0x2000);
+            cache.access(i as u64, addr, i % 3 == 0);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
-        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
-    }
+        assert_eq!(s.accesses(), n as u64);
+        assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    });
+}
 
-    /// The port arbiter grants exactly `ports` requests per cycle.
-    #[test]
-    fn arbiter_grants_exactly_ports(
-        ports in 1u32..4,
-        demands in proptest::collection::vec(0usize..8, 1..50),
-    ) {
+/// The port arbiter grants exactly `ports` requests per cycle.
+#[test]
+fn arbiter_grants_exactly_ports() {
+    check("arbiter_grants_exactly_ports", 256, |rng| {
+        let ports = rng.gen_range(1u32..4);
+        let demands: Vec<usize> = (0..rng.gen_range(1usize..50))
+            .map(|_| rng.gen_range(0usize..8))
+            .collect();
         let mut arb = PortArbiter::new(ports);
         for (cycle, demand) in demands.iter().enumerate() {
-            let granted = (0..*demand)
-                .filter(|_| arb.request(cycle as u64))
-                .count();
-            prop_assert_eq!(granted, (*demand).min(ports as usize));
+            let granted = (0..*demand).filter(|_| arb.request(cycle as u64)).count();
+            assert_eq!(granted, (*demand).min(ports as usize));
         }
         let (g, d) = arb.totals();
-        prop_assert_eq!(g + d, demands.iter().map(|d| *d as u64).sum::<u64>());
-    }
+        assert_eq!(g + d, demands.iter().map(|d| *d as u64).sum::<u64>());
+    });
 }

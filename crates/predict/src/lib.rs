@@ -92,7 +92,7 @@ impl ValuePredictor for MagicPredictor {
                 return Some(correct);
             }
         }
-        Some(confident[0]) // most confident (ties by recency)
+        confident.first().copied() // most confident (ties by recency)
     }
 
     fn train(&mut self, pc: u64, actual: u64) {

@@ -120,7 +120,7 @@ impl ValuePredictor for StridePredictor {
         let victim = set
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
-            .expect("assoc > 0");
+            .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
         *victim = StrideEntry {
             tag: pc,
             last: actual,

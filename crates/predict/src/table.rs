@@ -196,7 +196,7 @@ impl VptTable {
         let way = self.sets[set_idx]
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("assoc > 0");
+            .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
         *way = VptWay {
             tag: pc,
             value,

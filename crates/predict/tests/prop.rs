@@ -1,10 +1,9 @@
 //! Property-based tests for the value predictors.
 
-use proptest::prelude::*;
-
 use vpir_predict::{
     LastValuePredictor, MagicPredictor, StridePredictor, ValuePredictor, VptConfig,
 };
+use vpir_testkit::check;
 
 fn cfg() -> VptConfig {
     VptConfig {
@@ -14,36 +13,40 @@ fn cfg() -> VptConfig {
     }
 }
 
-proptest! {
-    /// Magic never predicts a value it has not been trained with.
-    #[test]
-    fn magic_only_predicts_stored_values(
-        trains in proptest::collection::vec((0u64..16, 0u64..8), 1..100),
-        probes in proptest::collection::vec((0u64..16, 0u64..8), 1..30),
-    ) {
+/// Magic never predicts a value it has not been trained with.
+#[test]
+fn magic_only_predicts_stored_values() {
+    check("magic_only_predicts_stored_values", 256, |rng| {
         let mut vp = MagicPredictor::new(cfg());
         let mut seen: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
             std::collections::HashMap::new();
-        for (pc, v) in &trains {
-            let pc = 0x1000 + pc * 4;
-            vp.train(pc, *v);
-            seen.entry(pc).or_default().insert(*v);
+        for _ in 0..rng.gen_range(1usize..100) {
+            let pc = 0x1000 + rng.gen_range(0u64..16) * 4;
+            let v = rng.gen_range(0u64..8);
+            vp.train(pc, v);
+            seen.entry(pc).or_default().insert(v);
         }
-        for (pc, oracle) in &probes {
-            let pc = 0x1000 + pc * 4;
-            if let Some(p) = vp.predict(pc, Some(*oracle)) {
-                prop_assert!(
+        for _ in 0..rng.gen_range(1usize..30) {
+            let pc = 0x1000 + rng.gen_range(0u64..16) * 4;
+            let oracle = rng.gen_range(0u64..8);
+            if let Some(p) = vp.predict(pc, Some(oracle)) {
+                assert!(
                     seen.get(&pc).is_some_and(|s| s.contains(&p)),
                     "magic invented {p} for {pc:#x}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Magic's oracle selection picks the correct value whenever it is
-    /// among the confident stored instances.
-    #[test]
-    fn magic_oracle_selection_is_exact(values in proptest::collection::vec(0u64..4, 8..40)) {
+/// Magic's oracle selection picks the correct value whenever it is
+/// among the confident stored instances.
+#[test]
+fn magic_oracle_selection_is_exact() {
+    check("magic_oracle_selection_is_exact", 128, |rng| {
+        let values: Vec<u64> = (0..rng.gen_range(8usize..40))
+            .map(|_| rng.gen_range(0u64..4))
+            .collect();
         let mut vp = MagicPredictor::new(cfg());
         // Train every value in the (small) domain to confidence.
         for v in &values {
@@ -56,15 +59,18 @@ proptest! {
         for v in 0u64..4 {
             if let Some(p) = vp.predict(0x10, Some(v)) {
                 // Either the oracle value (if stored) or a stored fallback.
-                prop_assert!(p < 4);
+                assert!(p < 4);
             }
         }
-    }
+    });
+}
 
-    /// A constant stream makes every predictor confident and exact.
-    #[test]
-    fn constant_stream_predicts_exactly(pc in 0u64..64, value in any::<u64>()) {
-        let pc = 0x1000 + pc * 4;
+/// A constant stream makes every predictor confident and exact.
+#[test]
+fn constant_stream_predicts_exactly() {
+    check("constant_stream_predicts_exactly", 128, |rng| {
+        let pc = 0x1000 + rng.gen_range(0u64..64) * 4;
+        let value = rng.gen_u64();
         let mut magic = MagicPredictor::new(cfg());
         let mut lvp = LastValuePredictor::new(cfg());
         let mut stride = StridePredictor::new(cfg());
@@ -73,19 +79,22 @@ proptest! {
             lvp.train(pc, value);
             stride.train(pc, value);
         }
-        prop_assert_eq!(magic.predict(pc, Some(value)), Some(value));
-        prop_assert_eq!(lvp.predict(pc, None), Some(value));
-        prop_assert_eq!(stride.predict(pc, None), Some(value));
-    }
+        assert_eq!(magic.predict(pc, Some(value)), Some(value));
+        assert_eq!(lvp.predict(pc, None), Some(value));
+        assert_eq!(stride.predict(pc, None), Some(value));
+    });
+}
 
-    /// Stride tracks any affine sequence exactly after warm-up.
-    #[test]
-    fn stride_tracks_affine_sequences(
-        start in any::<u64>(),
-        step in -1000i64..1000,
-        len in 5u64..40,
-    ) {
-        prop_assume!(step != 0);
+/// Stride tracks any affine sequence exactly after warm-up.
+#[test]
+fn stride_tracks_affine_sequences() {
+    check("stride_tracks_affine_sequences", 256, |rng| {
+        let start = rng.gen_u64();
+        let step = rng.gen_range(-1000i64..1000);
+        if step == 0 {
+            return;
+        }
+        let len = rng.gen_range(5u64..40);
         let mut vp = StridePredictor::new(cfg());
         let mut hits = 0;
         let mut total = 0;
@@ -101,40 +110,46 @@ proptest! {
             }
             vp.train(0x20, v);
         }
-        prop_assert_eq!(hits, total, "stride must be exact after warm-up");
-    }
+        assert_eq!(hits, total, "stride must be exact after warm-up");
+    });
+}
 
-    /// Prediction never mutates training state: two probes in a row give
-    /// the same answer.
-    #[test]
-    fn predict_is_idempotent(trains in proptest::collection::vec((0u64..8, 0u64..6), 1..60)) {
+/// Prediction never mutates training state: two probes in a row give
+/// the same answer.
+#[test]
+fn predict_is_idempotent() {
+    check("predict_is_idempotent", 256, |rng| {
         let mut magic = MagicPredictor::new(cfg());
         let mut stride = StridePredictor::new(cfg());
-        for (pc, v) in &trains {
-            let pc = 0x1000 + pc * 4;
-            magic.train(pc, *v);
-            stride.train(pc, *v);
+        for _ in 0..rng.gen_range(1usize..60) {
+            let pc = 0x1000 + rng.gen_range(0u64..8) * 4;
+            let v = rng.gen_range(0u64..6);
+            magic.train(pc, v);
+            stride.train(pc, v);
         }
         for pc in (0u64..8).map(|p| 0x1000 + p * 4) {
-            prop_assert_eq!(magic.predict(pc, None), magic.predict(pc, None));
-            prop_assert_eq!(stride.predict(pc, None), stride.predict(pc, None));
+            assert_eq!(magic.predict(pc, None), magic.predict(pc, None));
+            assert_eq!(stride.predict(pc, None), stride.predict(pc, None));
         }
-    }
+    });
+}
 
-    /// Lookup/prediction statistics stay consistent.
-    #[test]
-    fn stats_monotone(events in proptest::collection::vec((0u64..8, 0u64..6, any::<bool>()), 1..80)) {
+/// Lookup/prediction statistics stay consistent.
+#[test]
+fn stats_monotone() {
+    check("stats_monotone", 256, |rng| {
         let mut vp = LastValuePredictor::new(cfg());
-        for (pc, v, is_train) in events {
-            let pc = 0x1000 + pc * 4;
-            if is_train {
+        for _ in 0..rng.gen_range(1usize..80) {
+            let pc = 0x1000 + rng.gen_range(0u64..8) * 4;
+            let v = rng.gen_range(0u64..6);
+            if rng.gen_bool(0.5) {
                 vp.train(pc, v);
             } else {
                 vp.predict(pc, None);
             }
             let s = vp.stats();
-            prop_assert!(s.predictions <= s.lookups);
-            prop_assert!(s.allocations <= s.trainings);
+            assert!(s.predictions <= s.lookups);
+            assert!(s.allocations <= s.trainings);
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
 //! The reuse buffer proper.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vpir_isa::{MemWidth, Op, OpClass, Reg, NUM_REGS};
 
@@ -215,9 +215,9 @@ pub struct ReuseBuffer {
     config: RbConfig,
     slots: Vec<Slot>,
     /// Register → slots whose entries name that register as an operand.
-    reg_index: Vec<HashSet<u32>>,
+    reg_index: Vec<BTreeSet<u32>>,
     /// 8-byte block → slots of load entries covering that block.
-    mem_index: HashMap<u64, HashSet<u32>>,
+    mem_index: BTreeMap<u64, BTreeSet<u32>>,
     stats: ReuseStats,
     tick: u64,
 }
@@ -237,8 +237,8 @@ impl ReuseBuffer {
         ReuseBuffer {
             config,
             slots: vec![Slot::default(); config.entries],
-            reg_index: vec![HashSet::new(); NUM_REGS],
-            mem_index: HashMap::new(),
+            reg_index: vec![BTreeSet::new(); NUM_REGS],
+            mem_index: BTreeMap::new(),
             stats: ReuseStats::default(),
             tick: 0,
         }
@@ -402,7 +402,7 @@ impl ReuseBuffer {
                             0
                         }
                     })
-                    .expect("assoc > 0");
+                    .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
                 if self.slots[idx].entry.is_some() {
                     self.stats.evictions += 1;
                     self.unindex(idx);

@@ -6,21 +6,14 @@
 //! equals what executing the instruction with those values would
 //! produce. (Non-speculativity is IR's defining property.)
 
-use proptest::prelude::*;
-
 use vpir_isa::{execute, Inst, MemImage, Op, Reg};
 use vpir_reuse::{OperandView, RbConfig, RbInsert, ReuseBuffer, ReuseScheme};
+use vpir_testkit::{check, Rng};
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-        Just(Op::Slt),
-    ]
+const OPS: [Op; 7] = [Op::Add, Op::Sub, Op::Mul, Op::And, Op::Or, Op::Xor, Op::Slt];
+
+fn arb_op(rng: &mut Rng) -> Op {
+    OPS[rng.gen_range(0..OPS.len())]
 }
 
 #[derive(Debug, Clone)]
@@ -33,15 +26,24 @@ enum Event {
     RegWrite { reg: u8, value: u64 },
 }
 
-fn arb_event() -> impl Strategy<Value = Event> {
+fn arb_event(rng: &mut Rng) -> Event {
     // Small value domains make collisions (and hence reuse) likely.
-    let val = 0u64..6;
-    prop_oneof![
-        (0u8..6, val.clone(), val.clone()).prop_map(|(pc_idx, a, b)| Event::Exec { pc_idx, a, b }),
-        (0u8..6, val.clone(), val.clone())
-            .prop_map(|(pc_idx, a, b)| Event::Lookup { pc_idx, a, b }),
-        (2u8..6, val).prop_map(|(reg, value)| Event::RegWrite { reg, value }),
-    ]
+    match rng.gen_range(0..3u32) {
+        0 => Event::Exec {
+            pc_idx: rng.gen_range(0u8..6),
+            a: rng.gen_range(0u64..6),
+            b: rng.gen_range(0u64..6),
+        },
+        1 => Event::Lookup {
+            pc_idx: rng.gen_range(0u8..6),
+            a: rng.gen_range(0u64..6),
+            b: rng.gen_range(0u64..6),
+        },
+        _ => Event::RegWrite {
+            reg: rng.gen_range(2u8..6),
+            value: rng.gen_range(0u64..6),
+        },
+    }
 }
 
 fn compute(op: Op, a: u64, b: u64) -> u64 {
@@ -64,20 +66,18 @@ fn compute(op: Op, a: u64, b: u64) -> u64 {
     out.result.expect("alu result")
 }
 
-proptest! {
-    /// Soundness: any reported full reuse matches real execution.
-    #[test]
-    fn reuse_is_always_sound(
-        ops in proptest::collection::vec(arb_op(), 6),
-        events in proptest::collection::vec(arb_event(), 1..150),
-    ) {
+/// Soundness: any reported full reuse matches real execution.
+#[test]
+fn reuse_is_always_sound() {
+    check("reuse_is_always_sound", 256, |rng| {
+        let ops: Vec<Op> = (0..6).map(|_| arb_op(rng)).collect();
         let mut rb = ReuseBuffer::new(RbConfig {
             entries: 16,
             assoc: 2,
             scheme: ReuseScheme::SnDValues,
         });
-        for ev in events {
-            match ev {
+        for _ in 0..rng.gen_range(1usize..150) {
+            match arb_event(rng) {
                 Event::Exec { pc_idx, a, b } => {
                     let op = ops[pc_idx as usize];
                     rb.insert(RbInsert {
@@ -100,11 +100,11 @@ proptest! {
                         }
                     };
                     if let Some(hit) = rb.lookup(0x1000 + 4 * pc_idx as u64, op, &view, &[]) {
-                        prop_assert!(hit.full);
-                        prop_assert_eq!(
+                        assert!(hit.full);
+                        assert_eq!(
                             hit.result,
                             Some(compute(op, a, b)),
-                            "unsound reuse of {:?} with ({}, {})", op, a, b
+                            "unsound reuse of {op:?} with ({a}, {b})"
                         );
                     }
                 }
@@ -113,20 +113,22 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Per-PC occupancy never exceeds the associativity.
-    #[test]
-    fn instances_bounded_by_assoc(
-        inserts in proptest::collection::vec((0u8..4, 0u64..20, 0u64..20), 1..120),
-    ) {
+/// Per-PC occupancy never exceeds the associativity.
+#[test]
+fn instances_bounded_by_assoc() {
+    check("instances_bounded_by_assoc", 256, |rng| {
         let mut rb = ReuseBuffer::new(RbConfig {
             entries: 32,
             assoc: 4,
             scheme: ReuseScheme::SnDValues,
         });
-        for (pc_idx, a, b) in inserts {
-            let pc = 0x1000 + 4 * pc_idx as u64;
+        for _ in 0..rng.gen_range(1usize..120) {
+            let pc = 0x1000 + 4 * rng.gen_range(0u64..4);
+            let a = rng.gen_range(0u64..20);
+            let b = rng.gen_range(0u64..20);
             rb.insert(RbInsert {
                 pc,
                 op: Op::Add,
@@ -134,16 +136,20 @@ proptest! {
                 result: Some(a + b),
                 ..RbInsert::default()
             });
-            prop_assert!(rb.instances(pc) <= 4);
+            assert!(rb.instances(pc) <= 4);
         }
-    }
+    });
+}
 
-    /// An entry written and immediately probed with identical settled
-    /// operands always hits (completeness on the easy path).
-    #[test]
-    fn fresh_entry_hits(pc in 0u64..64, a in 0u64..100, b in 0u64..100) {
+/// An entry written and immediately probed with identical settled
+/// operands always hits (completeness on the easy path).
+#[test]
+fn fresh_entry_hits() {
+    check("fresh_entry_hits", 256, |rng| {
         let mut rb = ReuseBuffer::new(RbConfig::table1());
-        let pc = 0x1000 + pc * 4;
+        let pc = 0x1000 + rng.gen_range(0u64..64) * 4;
+        let a = rng.gen_range(0u64..100);
+        let b = rng.gen_range(0u64..100);
         rb.insert(RbInsert {
             pc,
             op: Op::Xor,
@@ -159,29 +165,31 @@ proptest! {
             }
         };
         let hit = rb.lookup(pc, Op::Xor, &view, &[]).expect("fresh entry reusable");
-        prop_assert_eq!(hit.result, Some(a ^ b));
-    }
+        assert_eq!(hit.result, Some(a ^ b));
+    });
+}
 
-    /// Stats counters never go backwards and always balance.
-    #[test]
-    fn stats_balance(
-        inserts in proptest::collection::vec((0u8..8, 0u64..4, 0u64..4), 1..80),
-    ) {
+/// Stats counters never go backwards and always balance.
+#[test]
+fn stats_balance() {
+    check("stats_balance", 256, |rng| {
         let mut rb = ReuseBuffer::new(RbConfig {
             entries: 8,
             assoc: 2,
             scheme: ReuseScheme::SnDValues,
         });
-        for (pc_idx, a, b) in inserts {
+        for _ in 0..rng.gen_range(1usize..80) {
+            let a = rng.gen_range(0u64..4);
+            let b = rng.gen_range(0u64..4);
             rb.insert(RbInsert {
-                pc: 0x1000 + 4 * pc_idx as u64,
+                pc: 0x1000 + 4 * rng.gen_range(0u64..8),
                 op: Op::Add,
                 srcs: [Some((Reg::int(2), a)), Some((Reg::int(3), b))],
                 result: Some(a + b),
                 ..RbInsert::default()
             });
             let s = rb.stats();
-            prop_assert!(s.evictions <= s.inserts);
+            assert!(s.evictions <= s.inserts);
         }
-    }
+    });
 }

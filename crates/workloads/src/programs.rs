@@ -5,8 +5,7 @@
 //! bit-identical. Every kernel accumulates a checksum in `r20` so tests
 //! can verify architectural equivalence across simulators.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vpir_testkit::Rng;
 
 use crate::Scale;
 
@@ -22,7 +21,7 @@ const SCRATCH: u64 = 0x40_0000;
 /// `go`-like: a board evaluator with data-dependent, hard-to-predict
 /// branches (Table 2 reports 75.8% gshare accuracy for `go`).
 pub fn go(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0x60_60);
+    let mut rng = Rng::new(0x60_63);
     // A 19x19 board of {0,1,2} plus a border ring, as bytes.
     let dim = 21usize;
     let board: Vec<u8> = (0..dim * dim)
@@ -291,7 +290,7 @@ do_and: sll  r21, r16, 2
 /// `ijpeg`-like: 8x8 integer block transforms over a quantised image
 /// (predictable counted loops, multiply-heavy, moderate redundancy).
 pub fn ijpeg(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0x134E6);
+    let mut rng = Rng::new(0x134E6);
     let blocks = 24usize;
     // Pixels quantised to 16 levels: plenty of repeated values.
     let image: Vec<u8> = (0..blocks * 64).map(|_| rng.gen_range(0..16u8) * 16).collect();
@@ -360,7 +359,7 @@ row:    # quantisation-table entry for this row (8 hot addresses)
 /// hash chain and the probe loads see a narrow, hot set of operand
 /// values per static instruction — moderate redundancy, like perl.
 pub fn perl(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0x9E41);
+    let mut rng = Rng::new(0x9E41);
     let vocab = [
         "my", "sub", "local", "return", "print", "while", "foreach", "scalar", "push",
         "shift", "defined", "length", "keys", "values", "chomp", "split", "unless",
@@ -378,7 +377,7 @@ pub fn perl(scale: Scale) -> (String, Data) {
     let ntokens = 300usize;
     let mut stream = Vec::new();
     for _ in 0..ntokens {
-        let r: f64 = rng.gen();
+        let r: f64 = rng.gen_f64();
         let idx = ((vocab.len() as f64) * r * r) as u32;
         stream.extend_from_slice(&idx.min(vocab.len() as u32 - 1).to_le_bytes());
     }
@@ -448,7 +447,7 @@ next:   move r13, r27           # pipeline rotate
 /// (hot, reusable loads) while leaf objects are cold, and per-kind
 /// validators run behind calls (very predictable branches, call-heavy).
 pub fn vortex(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut rng = Rng::new(0xB0F);
     // Layout: 4 index nodes of 4 children each at INPUT (16 bytes per
     // node: child addresses), then 16 leaf objects of 24 bytes at AUX:
     // [id, kind, a, b, pad, pad].
@@ -474,7 +473,7 @@ pub fn vortex(scale: Scale) -> (String, Data) {
     let nqueries = 48usize;
     let queries: Vec<u8> = (0..nqueries)
         .flat_map(|_| {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let q = ((nleaves as f64) * r * r) as u32;
             q.min(nleaves as u32 - 1).to_le_bytes()
         })
@@ -547,12 +546,12 @@ check2: lw   r16, 0(r12)        # id
 /// full iteration ahead — giving the long producer distances real gcc
 /// loop bodies have.
 pub fn gcc(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0x6CC);
+    let mut rng = Rng::new(0x6CC);
     // Nodes: 16 bytes: [kind:u32, left:u32(index), right:u32, value:u32]
     // kinds: 0=const 1=add 2=mul 3=neg. Build a forest of small trees.
     let mut nodes: Vec<[u32; 4]> = Vec::new();
     let mut postorder: Vec<u32> = Vec::new();
-    fn build(rng: &mut StdRng, nodes: &mut Vec<[u32; 4]>, depth: u32) -> u32 {
+    fn build(rng: &mut Rng, nodes: &mut Vec<[u32; 4]>, depth: u32) -> u32 {
         if depth == 0 || rng.gen_range(0..100) < 25 {
             nodes.push([0, 0, 0, rng.gen_range(1..50)]);
             return (nodes.len() - 1) as u32;
@@ -676,7 +675,7 @@ do_neg: addi r29, r29, -8
 /// the paper's signature for `compress` (65% address reuse, 16% result
 /// reuse).
 pub fn compress(scale: Scale) -> (String, Data) {
-    let mut rng = StdRng::seed_from_u64(0xC03D_0011);
+    let mut rng = Rng::new(0xC03D_0011);
     let n = 1600usize;
     // Run-heavy, text-like stream: long runs of a few hot characters make
     // a handful of (prefix, char) pairs dominate the probes.

@@ -10,10 +10,8 @@
 //! dedicated registers, all conditional branches inside a block jump
 //! strictly forward, and calls only target leaf functions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use vpir_isa::{asm, Program};
+use vpir_testkit::Rng;
 
 /// Scratch memory region used by generated memory operations.
 const REGION: u64 = 0x50_0000;
@@ -63,7 +61,7 @@ pub fn random_program(seed: u64, config: SynthConfig) -> Program {
 /// Generates the assembly source for a random program (exposed so test
 /// failures can print it).
 pub fn random_source(seed: u64, config: SynthConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut g = Gen {
         rng: &mut rng,
         config,
@@ -81,7 +79,7 @@ const POOL: [u8; 12] = [8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19];
 const FPOOL: [u8; 6] = [0, 1, 2, 3, 4, 5];
 
 struct Gen<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
     config: SynthConfig,
     out: String,
     label: u32,
@@ -132,7 +130,7 @@ impl Gen<'_> {
                 0 => self.rng.gen_range(-100..100),
                 1 => self.rng.gen_range(0..1 << 16),
                 2 => -1,
-                _ => self.rng.gen::<i32>() as i64,
+                _ => self.rng.gen_i32() as i64,
             };
             self.emit(&format!("li r{r}, {v}"));
         }

@@ -2,9 +2,8 @@
 //! and every generated random program must encode into 32-bit words and
 //! decode back to a semantically identical text segment.
 
-use proptest::prelude::*;
-
 use vpir_isa::{encoding, Inst, Machine, Op, Program, Reg};
+use vpir_testkit::check;
 use vpir_workloads::synth::{random_program, SynthConfig};
 use vpir_workloads::{Bench, Scale};
 
@@ -57,13 +56,12 @@ fn decoded_benchmark_runs_identically() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
-    /// Random structured programs round-trip through the encoding.
-    #[test]
-    fn random_programs_roundtrip(seed in 0u64..100_000) {
+/// Random structured programs round-trip through the encoding.
+#[test]
+fn random_programs_roundtrip() {
+    check("random_programs_roundtrip", 40, |rng| {
+        let seed = rng.gen_range(0u64..100_000);
         let prog = random_program(seed, SynthConfig::default());
         assert_roundtrip(&prog, &format!("synth seed {seed}"));
-    }
+    });
 }

@@ -7,6 +7,27 @@ pub fn head(xs: &[u64], cache: Option<u64>) -> Option<u64> {
     Some(first.max(cached))
 }
 
+/// The scratch-buffer idiom from the zero-allocation cycle loop: a pooled
+/// buffer is taken, refilled, and put back every call, so the steady state
+/// never allocates. The `expect` on put-back is justified the same way the
+/// pipeline's pool invariants are — with a recorded allow.
+pub struct Scratch {
+    pool: Vec<Vec<u64>>,
+}
+
+impl Scratch {
+    pub fn sum(&mut self, xs: &[u64]) -> u64 {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(xs);
+        let total = buf.iter().sum();
+        self.pool.push(buf);
+        let back = self.pool.last().expect("buffer just pushed"); // vpir: allow(panic, pool take/put-back is balanced: the push above makes the pool non-empty)
+        debug_assert_eq!(back.len(), xs.len());
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -103,6 +103,24 @@ fn bench_pipeline() {
     });
 }
 
+/// Steady-state simulation throughput in cycles/sec — the figure the
+/// zero-allocation cycle loop (DESIGN.md §8) optimises. One entry per
+/// mechanism so a regression in any scratch-buffer or pool path shows
+/// up against the committed `BENCH_matrix.json` baseline.
+fn bench_cycle_rate() {
+    use vpir_core::{IrConfig, VpConfig};
+    let prog = Bench::Ijpeg.program(Scale::of(1));
+    let mut g = group("cycle_rate");
+    let run = |cfg: CoreConfig| {
+        let mut sim = Simulator::new(&prog, cfg);
+        sim.run(RunLimits::cycles(100_000));
+        sim.cycle()
+    };
+    g.bench_cycle_rate("base", || run(CoreConfig::table1()));
+    g.bench_cycle_rate("vp_magic", || run(CoreConfig::with_vp(VpConfig::magic())));
+    g.bench_cycle_rate("ir", || run(CoreConfig::with_ir(IrConfig::table1())));
+}
+
 fn main() {
     bench_cache();
     bench_gshare();
@@ -110,4 +128,5 @@ fn main() {
     bench_rb();
     bench_functional();
     bench_pipeline();
+    bench_cycle_rate();
 }

@@ -11,7 +11,7 @@
 use std::env;
 use std::process::ExitCode;
 
-use vpir_bench::matrix::{run_matrix, run_one, Matrix, MatrixConfig};
+use vpir_bench::matrix::{run_matrix_jobs, run_one, Matrix, MatrixConfig};
 use vpir_bench::report;
 use vpir_core::{CoreConfig, FrontEnd, IrConfig, VpConfig, VpKind};
 use vpir_predict::VptConfig;
@@ -21,7 +21,7 @@ use vpir_workloads::{Bench, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <id> [--quick] [--scale N] [--bench NAME]\n\
+        "usage: experiments <id> [--quick] [--scale N] [--bench NAME] [--jobs N]\n\
          ids: table2..table6, fig3..fig10, all, csv, ablations, hybrid, frontend"
     );
     ExitCode::FAILURE
@@ -34,10 +34,18 @@ fn main() -> ExitCode {
     };
     let mut cfg = MatrixConfig::experiment();
     let mut only_bench: Option<Bench> = None;
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = MatrixConfig::quick(),
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                jobs = n;
+            }
             "--scale" => {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|s| s.parse::<u32>().ok()) else {
@@ -81,7 +89,7 @@ fn main() -> ExitCode {
         "running matrix (scale {}, cycle cap {}) ...",
         cfg.scale.outer, cfg.max_cycles
     );
-    let matrix = build_matrix(cfg, only_bench);
+    let matrix = build_matrix(cfg, only_bench, jobs);
     let out = match id.as_str() {
         "table2" => report::table2(&matrix),
         "table3" => report::table3(&matrix),
@@ -104,12 +112,10 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn build_matrix(cfg: MatrixConfig, only: Option<Bench>) -> Matrix {
+fn build_matrix(cfg: MatrixConfig, only: Option<Bench>, jobs: usize) -> Matrix {
     match only {
-        None => run_matrix(cfg),
-        Some(b) => Matrix {
-            runs: vec![vpir_bench::matrix::run_bench(b, cfg)],
-        },
+        None => run_matrix_jobs(cfg, jobs),
+        Some(b) => vpir_bench::matrix::run_benches_jobs(&[b], cfg, jobs),
     }
 }
 

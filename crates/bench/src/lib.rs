@@ -20,6 +20,8 @@
 
 pub mod matrix;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 
 pub use matrix::{BenchRuns, Matrix, MatrixConfig, VpKey};
+pub use perf::{run_matrix_timed, MatrixPerf};

@@ -1,12 +1,23 @@
 //! Runs the full configuration × benchmark matrix.
+//!
+//! Every (benchmark × configuration) run — base, the sixteen VP
+//! configurations, IR with early and late validation, and the
+//! functional limit study — is an independent, deterministic simulator
+//! run, so the matrix is executed by a work-queue scheduler that fans
+//! the flat job list out over worker threads and reassembles the
+//! results in a fixed order. The assembled [`Matrix`] is bit-identical
+//! for every worker count (including one); `tests/parallel.rs` locks
+//! that equivalence in.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use vpir_core::{
     BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, SimStats, Simulator,
     Validation, VpConfig, VpKind,
 };
+use vpir_isa::Program;
 use vpir_redundancy::{analyze, LimitConfig, LimitStudy};
 use vpir_workloads::{Bench, Scale};
 
@@ -28,11 +39,21 @@ pub fn vp_keys() -> Vec<VpKey> {
     keys
 }
 
-/// A short label like `ME-SB` for a VP key.
+/// A full label like `magic:ME-SB:vl1` for a VP key.
+///
+/// Every component is included — predictor kind, re-execution policy,
+/// branch resolution, and verification latency — so all sixteen keys
+/// render distinctly (the seed's `ME-SB`-style label collapsed four
+/// configurations onto each label and collided in reports).
 pub fn vp_label(key: VpKey) -> String {
-    let (_, re, br, _) = key;
+    let (kind, re, br, vl) = key;
     format!(
-        "{}-{}",
+        "{}:{}-{}:vl{}",
+        match kind {
+            VpKind::Magic => "magic",
+            VpKind::Lvp => "lvp",
+            VpKind::Stride => "stride",
+        },
         match re {
             Reexecution::Me => "ME",
             Reexecution::Nme => "NME",
@@ -40,7 +61,8 @@ pub fn vp_label(key: VpKey) -> String {
         match br {
             BranchResolution::Sb => "SB",
             BranchResolution::Nsb => "NSB",
-        }
+        },
+        vl
     )
 }
 
@@ -87,14 +109,15 @@ impl MatrixConfig {
 }
 
 /// Every simulator run for one benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRuns {
     /// Which benchmark.
     pub bench: Bench,
     /// The base Table 1 machine.
     pub base: SimStats,
-    /// All sixteen VP configurations.
-    pub vp: HashMap<VpKey, SimStats>,
+    /// All sixteen VP configurations, in [`vp_keys`] order (BTreeMap so
+    /// report iteration is deterministic — R1 discipline).
+    pub vp: BTreeMap<VpKey, SimStats>,
     /// IR with early validation (the real mechanism).
     pub ir_early: SimStats,
     /// IR with validation deferred to execute (Figure 3).
@@ -115,10 +138,32 @@ impl BenchRuns {
 }
 
 /// The full matrix: one [`BenchRuns`] per benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     /// Per-benchmark results, in Table 2 order.
     pub runs: Vec<BenchRuns>,
+}
+
+impl Matrix {
+    /// Total simulated cycles over every run in the matrix (the
+    /// numerator of the perf harness's cycles/sec figure).
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| {
+                r.base.cycles
+                    + r.vp.values().map(|s| s.cycles).sum::<u64>()
+                    + r.ir_early.cycles
+                    + r.ir_late.cycles
+            })
+            .sum()
+    }
+
+    /// Number of cycle-level simulator runs (excludes the functional
+    /// limit studies).
+    pub fn sim_run_count(&self) -> usize {
+        self.runs.iter().map(|r| 3 + r.vp.len()).sum()
+    }
 }
 
 /// Runs one simulator configuration over one benchmark.
@@ -128,27 +173,95 @@ pub fn run_one(bench: Bench, scale: Scale, config: CoreConfig, max_cycles: u64) 
     sim.run(RunLimits::cycles(max_cycles)).clone()
 }
 
-/// Runs everything needed for one benchmark.
+/// Runs everything needed for one benchmark, sequentially on the
+/// calling thread. This is the reference implementation the work-queue
+/// scheduler must bit-match.
 pub fn run_bench(bench: Bench, cfg: MatrixConfig) -> BenchRuns {
     let prog = bench.program(cfg.scale);
-    let limits = RunLimits::cycles(cfg.max_cycles);
-    let run = |core: CoreConfig| -> SimStats {
-        let mut sim = Simulator::new(&prog, core);
-        sim.run(limits).clone()
-    };
+    assemble_bench(bench, &prog, cfg, |kind| run_job(&prog, cfg, kind))
+}
 
-    let base = run(CoreConfig::table1());
-    let mut vp = HashMap::new();
-    for key in vp_keys() {
-        vp.insert(key, run(CoreConfig::with_vp(vp_config(key))));
+// ----------------------------------------------------------------
+// The work-queue scheduler.
+// ----------------------------------------------------------------
+
+/// One unit of work: a single configuration run over one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Base,
+    Vp(VpKey),
+    IrEarly,
+    IrLate,
+    Limit,
+}
+
+/// The result of one job.
+#[derive(Debug, Clone)]
+enum JobOut {
+    Stats(SimStats),
+    Limit(LimitStudy),
+}
+
+impl JobOut {
+    fn into_stats(self) -> SimStats {
+        match self {
+            JobOut::Stats(s) => s,
+            JobOut::Limit(_) => unreachable!("job kind mismatch: expected stats"),
+        }
     }
-    let ir_early = run(CoreConfig::with_ir(IrConfig::table1()));
-    let ir_late = run(CoreConfig::with_ir(IrConfig {
-        validation: Validation::Late,
-        ..IrConfig::table1()
-    }));
-    let limit = analyze(&prog, cfg.limit_insts, LimitConfig::default());
 
+    fn into_limit(self) -> LimitStudy {
+        match self {
+            JobOut::Limit(l) => l,
+            JobOut::Stats(_) => unreachable!("job kind mismatch: expected limit study"),
+        }
+    }
+}
+
+/// The per-benchmark job list, in assembly order.
+fn job_kinds() -> Vec<JobKind> {
+    let mut kinds = vec![JobKind::Base];
+    kinds.extend(vp_keys().into_iter().map(JobKind::Vp));
+    kinds.extend([JobKind::IrEarly, JobKind::IrLate, JobKind::Limit]);
+    kinds
+}
+
+/// Runs one job. Each job constructs its own simulator over a shared,
+/// immutable program, so results are independent of scheduling.
+fn run_job(prog: &Program, cfg: MatrixConfig, kind: JobKind) -> JobOut {
+    let limits = RunLimits::cycles(cfg.max_cycles);
+    let run = |core: CoreConfig| -> JobOut {
+        let mut sim = Simulator::new(prog, core);
+        JobOut::Stats(sim.run(limits).clone())
+    };
+    match kind {
+        JobKind::Base => run(CoreConfig::table1()),
+        JobKind::Vp(key) => run(CoreConfig::with_vp(vp_config(key))),
+        JobKind::IrEarly => run(CoreConfig::with_ir(IrConfig::table1())),
+        JobKind::IrLate => run(CoreConfig::with_ir(IrConfig {
+            validation: Validation::Late,
+            ..IrConfig::table1()
+        })),
+        JobKind::Limit => JobOut::Limit(analyze(prog, cfg.limit_insts, LimitConfig::default())),
+    }
+}
+
+/// Reassembles one benchmark's results from its jobs, pulled from
+/// `take` in [`job_kinds`] order.
+fn assemble_bench(
+    bench: Bench,
+    _prog: &Program,
+    _cfg: MatrixConfig,
+    mut take: impl FnMut(JobKind) -> JobOut,
+) -> BenchRuns {
+    let base = take(JobKind::Base).into_stats();
+    let mut vp = BTreeMap::new();
+    for key in vp_keys() {
+        vp.insert(key, take(JobKind::Vp(key)).into_stats());
+    }
+    let ir_early = take(JobKind::IrEarly).into_stats();
+    let ir_late = take(JobKind::IrLate).into_stats();
+    let limit = take(JobKind::Limit).into_limit();
     BenchRuns {
         bench,
         base,
@@ -159,21 +272,88 @@ pub fn run_bench(bench: Bench, cfg: MatrixConfig) -> BenchRuns {
     }
 }
 
-/// Runs the full matrix, one worker thread per benchmark.
-pub fn run_matrix(cfg: MatrixConfig) -> Matrix {
-    let results: Mutex<Vec<BenchRuns>> = Mutex::new(Vec::new());
+/// The default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builds every benchmark's program at `scale` (the scheduler's
+/// build phase, timed separately by the perf harness).
+pub fn build_programs(benches: &[Bench], scale: Scale) -> Vec<Program> {
+    benches.iter().map(|b| b.program(scale)).collect()
+}
+
+/// Runs the matrix over prebuilt programs with `jobs` workers
+/// (`jobs == 0` means [`default_jobs`]).
+///
+/// Scheduling: the flat (benchmark × configuration) job list is
+/// consumed through a single atomic cursor; each worker claims the
+/// next unclaimed job and writes its result into that job's dedicated
+/// slot. Reassembly reads the slots in list order, so the output is
+/// independent of which worker ran which job and bit-matches
+/// [`run_bench`] applied sequentially.
+pub fn run_matrix_prebuilt(
+    benches: &[Bench],
+    progs: &[Program],
+    cfg: MatrixConfig,
+    jobs: usize,
+) -> Matrix {
+    assert_eq!(benches.len(), progs.len(), "one program per benchmark");
+    let kinds = job_kinds();
+    let job_list: Vec<(usize, JobKind)> = (0..benches.len())
+        .flat_map(|bi| kinds.iter().map(move |&k| (bi, k)))
+        .collect();
+
+    let workers = if jobs == 0 { default_jobs() } else { jobs }
+        .min(job_list.len())
+        .max(1);
+    let results: Vec<Mutex<Option<JobOut>>> =
+        job_list.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
     std::thread::scope(|s| {
-        for bench in Bench::ALL {
-            let results = &results;
-            s.spawn(move || {
-                let runs = run_bench(bench, cfg);
-                results.lock().expect("no poisoned worker").push(runs);
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, kind)) = job_list.get(i) else { break };
+                let out = run_job(&progs[bi], cfg, kind);
+                *results[i].lock().expect("no poisoned worker") = Some(out);
             });
         }
     });
-    let mut runs = results.into_inner().expect("workers done");
-    runs.sort_by_key(|r| Bench::ALL.iter().position(|b| *b == r.bench));
+
+    // Reassemble in job-list order: the closure below is called by
+    // `assemble_bench` in exactly `job_kinds()` order per benchmark,
+    // which is the order the job list was built in.
+    let mut outs = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("workers done").expect("job ran"));
+    let runs = benches
+        .iter()
+        .enumerate()
+        .map(|(bi, &bench)| {
+            assemble_bench(bench, &progs[bi], cfg, |_kind| {
+                outs.next().expect("one result per job")
+            })
+        })
+        .collect();
     Matrix { runs }
+}
+
+/// Runs the matrix over `benches` with `jobs` workers (`0` = default).
+pub fn run_benches_jobs(benches: &[Bench], cfg: MatrixConfig, jobs: usize) -> Matrix {
+    let progs = build_programs(benches, cfg.scale);
+    run_matrix_prebuilt(benches, &progs, cfg, jobs)
+}
+
+/// Runs the full matrix with `jobs` workers (`0` = default).
+pub fn run_matrix_jobs(cfg: MatrixConfig, jobs: usize) -> Matrix {
+    run_benches_jobs(&Bench::ALL, cfg, jobs)
+}
+
+/// Runs the full matrix with the default worker count.
+pub fn run_matrix(cfg: MatrixConfig) -> Matrix {
+    run_matrix_jobs(cfg, 0)
 }
 
 #[cfg(test)]
@@ -184,11 +364,27 @@ mod tests {
     fn vp_key_space_is_complete() {
         let keys = vp_keys();
         assert_eq!(keys.len(), 16);
-        let labels: std::collections::HashSet<String> = keys
-            .iter()
-            .map(|&k| format!("{:?}-{}-{}", k.0, vp_label(k), k.3))
-            .collect();
-        assert_eq!(labels.len(), 16, "labels must be distinct");
+        let labels: std::collections::BTreeSet<String> =
+            keys.iter().map(|&k| vp_label(k)).collect();
+        assert_eq!(labels.len(), 16, "labels alone must be distinct");
+    }
+
+    #[test]
+    fn vp_label_includes_kind_and_verify_latency() {
+        let a = vp_label((VpKind::Magic, Reexecution::Me, BranchResolution::Sb, 0));
+        let b = vp_label((VpKind::Lvp, Reexecution::Me, BranchResolution::Sb, 1));
+        assert_eq!(a, "magic:ME-SB:vl0");
+        assert_eq!(b, "lvp:ME-SB:vl1");
+        assert_ne!(a, b, "kind/vl must disambiguate identical policies");
+    }
+
+    #[test]
+    fn job_list_covers_every_config_once() {
+        let kinds = job_kinds();
+        assert_eq!(kinds.len(), 20, "base + 16 VP + 2 IR + limit");
+        let uniq: std::collections::BTreeSet<String> =
+            kinds.iter().map(|k| format!("{k:?}")).collect();
+        assert_eq!(uniq.len(), kinds.len());
     }
 
     #[test]

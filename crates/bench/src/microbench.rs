@@ -47,6 +47,33 @@ impl Group {
         self
     }
 
+    /// Times `f`, which reports how many simulated cycles it ran, and
+    /// prints the median and best throughput in cycles per second — the
+    /// steady-state figure the zero-allocation cycle loop is tuned for
+    /// (and the same unit `vpir bench` persists in `BENCH_matrix.json`).
+    pub fn bench_cycle_rate(&mut self, name: &str, mut f: impl FnMut() -> u64) -> &mut Group {
+        for _ in 0..WARMUP {
+            black_box(f());
+        }
+        let mut rates = [0f64; SAMPLES];
+        for r in &mut rates {
+            let start = Instant::now();
+            let cycles = black_box(f());
+            let secs = start.elapsed().as_secs_f64().max(1e-12);
+            *r = cycles as f64 / secs;
+        }
+        rates.sort_unstable_by(|a, b| a.total_cmp(b));
+        let median = rates[SAMPLES / 2];
+        let best = rates[SAMPLES - 1];
+        println!(
+            "{}/{name}: {} cycles/sec median, {} best",
+            self.name,
+            fmt_rate(median),
+            fmt_rate(best)
+        );
+        self
+    }
+
     /// Times `f`, printing the median and minimum over the samples.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Group {
         for _ in 0..WARMUP {
@@ -74,6 +101,16 @@ impl Group {
         }
         println!("{line}");
         self
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
     }
 }
 

@@ -1,0 +1,494 @@
+//! Wall-clock measurement of the matrix runner.
+//!
+//! Runs the (benchmark × configuration) matrix under the work-queue
+//! scheduler while timing each phase, and serialises the result as
+//! `BENCH_matrix.json` so the repo carries a perf trajectory from PR to
+//! PR. The JSON is hand-rolled (the workspace is offline and carries no
+//! serde); [`validate_json`] is a minimal recursive-descent checker used
+//! by the CLI and CI to confirm the emitted file is well-formed.
+
+use std::time::Instant;
+
+use vpir_workloads::Bench;
+
+use crate::matrix::{
+    build_programs, default_jobs, run_bench, run_matrix_prebuilt, Matrix, MatrixConfig,
+};
+
+/// Timings and rates for one measured matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixPerf {
+    /// Workload scale (outer-loop multiplier).
+    pub scale: u32,
+    /// Per-run cycle cap.
+    pub max_cycles: u64,
+    /// Functional limit-study instruction cap.
+    pub limit_insts: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// The host's available parallelism at run time.
+    pub available_parallelism: usize,
+    /// Benchmarks run.
+    pub benches: Vec<String>,
+    /// Cycle-level simulator runs in the matrix.
+    pub sim_runs: usize,
+    /// Seconds spent building benchmark programs (single-threaded).
+    pub build_seconds: f64,
+    /// Seconds spent in the parallel simulate phase.
+    pub simulate_seconds: f64,
+    /// Total simulated cycles over every run.
+    pub total_sim_cycles: u64,
+    /// Simulated cycles per wall-clock second in the simulate phase.
+    pub sim_cycles_per_sec: f64,
+    /// Sequential comparison, when requested: `(seconds, speedup,
+    /// bit_identical)`.
+    pub sequential: Option<(f64, f64, bool)>,
+}
+
+/// Runs the matrix with `jobs` workers (`0` = default), timing each
+/// phase. With `compare_sequential`, also runs the reference sequential
+/// runner and records its time, the speedup, and whether the parallel
+/// result is bit-identical to it.
+pub fn run_matrix_timed(
+    cfg: MatrixConfig,
+    jobs: usize,
+    compare_sequential: bool,
+) -> (Matrix, MatrixPerf) {
+    let benches = Bench::ALL;
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+
+    let t0 = Instant::now();
+    let progs = build_programs(&benches, cfg.scale);
+    let build_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let matrix = run_matrix_prebuilt(&benches, &progs, cfg, jobs);
+    let simulate_seconds = t1.elapsed().as_secs_f64();
+
+    let sequential = compare_sequential.then(|| {
+        let t2 = Instant::now();
+        let seq = Matrix {
+            runs: benches.iter().map(|&b| run_bench(b, cfg)).collect(),
+        };
+        let seq_seconds = t2.elapsed().as_secs_f64();
+        let speedup = if simulate_seconds > 0.0 {
+            seq_seconds / simulate_seconds
+        } else {
+            0.0
+        };
+        (seq_seconds, speedup, seq == matrix)
+    });
+
+    let total_sim_cycles = matrix.total_sim_cycles();
+    let perf = MatrixPerf {
+        scale: cfg.scale.outer,
+        max_cycles: cfg.max_cycles,
+        limit_insts: cfg.limit_insts,
+        jobs,
+        available_parallelism: default_jobs(),
+        benches: benches.iter().map(|b| b.name().to_string()).collect(),
+        sim_runs: matrix.sim_run_count(),
+        build_seconds,
+        simulate_seconds,
+        total_sim_cycles,
+        sim_cycles_per_sec: if simulate_seconds > 0.0 {
+            total_sim_cycles as f64 / simulate_seconds
+        } else {
+            0.0
+        },
+        sequential,
+    };
+    (matrix, perf)
+}
+
+impl MatrixPerf {
+    /// Serialises to the `BENCH_matrix.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"vpir-bench-matrix-v1\",\n");
+        s.push_str(&format!("  \"scale\": {},\n", self.scale));
+        s.push_str(&format!("  \"max_cycles\": {},\n", self.max_cycles));
+        s.push_str(&format!("  \"limit_insts\": {},\n", self.limit_insts));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str("  \"benches\": [");
+        for (i, b) in self.benches.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{b}\""));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!("  \"sim_runs\": {},\n", self.sim_runs));
+        s.push_str("  \"phases\": {\n");
+        s.push_str(&format!(
+            "    \"build_programs_seconds\": {:.6},\n",
+            self.build_seconds
+        ));
+        s.push_str(&format!(
+            "    \"simulate_seconds\": {:.6}\n",
+            self.simulate_seconds
+        ));
+        s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"total_sim_cycles\": {},\n",
+            self.total_sim_cycles
+        ));
+        s.push_str(&format!(
+            "  \"sim_cycles_per_sec\": {:.1}",
+            self.sim_cycles_per_sec
+        ));
+        match self.sequential {
+            Some((secs, speedup, identical)) => {
+                s.push_str(",\n  \"sequential\": {\n");
+                s.push_str(&format!("    \"run_seconds\": {secs:.6},\n"));
+                s.push_str(&format!("    \"speedup\": {speedup:.2},\n"));
+                s.push_str(&format!("    \"bit_identical\": {identical}\n"));
+                s.push_str("  }\n");
+            }
+            None => s.push('\n'),
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// A one-line human summary for the CLI.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "matrix: {} sim runs, jobs={} ({} available), build {:.2}s, simulate {:.2}s, {:.2}M sim cycles/s",
+            self.sim_runs,
+            self.jobs,
+            self.available_parallelism,
+            self.build_seconds,
+            self.simulate_seconds,
+            self.sim_cycles_per_sec / 1e6,
+        );
+        if let Some((secs, speedup, identical)) = self.sequential {
+            line.push_str(&format!(
+                "; sequential {:.2}s, speedup {:.2}x, bit-identical: {}",
+                secs, speedup, identical
+            ));
+        }
+        line
+    }
+}
+
+/// Validates that `text` is well-formed JSON and, at the top level, an
+/// object containing every key in `required_keys`.
+///
+/// A minimal recursive-descent parser — it accepts exactly the JSON
+/// grammar (objects, arrays, strings with escapes, numbers, booleans,
+/// null) without building a document tree.
+pub fn validate_json(text: &str, required_keys: &[&str]) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0, top_keys: Vec::new(), depth: 0 };
+    p.skip_ws();
+    p.value(true)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    for key in required_keys {
+        if !p.top_keys.iter().any(|k| k == key) {
+            return Err(format!("missing required top-level key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    top_keys: Vec<String>,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self, top: bool) -> Result<(), String> {
+        if self.depth > 128 {
+            return Err("nesting too deep".to_string());
+        }
+        self.depth += 1;
+        let r = match self.peek() {
+            Some(b'{') => self.object(top),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn object(&mut self, top: bool) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if top {
+                self.top_keys.push(key);
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(false)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', found {other:?} at offset {}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(false)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']', found {other:?} at offset {}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(format!(
+                                            "bad \\u escape at offset {}",
+                                            self.pos
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {other:?} at offset {}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b >= 0x20 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                other => return Err(format!("bad string byte {other:?} at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("expected digits at offset {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("expected fraction digits at offset {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("expected exponent digits at offset {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The top-level keys `BENCH_matrix.json` must carry.
+pub const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "scale",
+    "max_cycles",
+    "limit_insts",
+    "jobs",
+    "available_parallelism",
+    "benches",
+    "sim_runs",
+    "phases",
+    "total_sim_cycles",
+    "sim_cycles_per_sec",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_is_well_formed() {
+        let perf = MatrixPerf {
+            scale: 2,
+            max_cycles: 1000,
+            limit_insts: 100,
+            jobs: 4,
+            available_parallelism: 8,
+            benches: vec!["go".to_string(), "gcc".to_string()],
+            sim_runs: 40,
+            build_seconds: 0.125,
+            simulate_seconds: 1.5,
+            total_sim_cycles: 123456,
+            sim_cycles_per_sec: 82304.0,
+            sequential: Some((3.0, 2.0, true)),
+        };
+        validate_json(&perf.to_json(), REQUIRED_KEYS).expect("valid");
+        let no_seq = MatrixPerf {
+            sequential: None,
+            ..perf
+        };
+        validate_json(&no_seq.to_json(), REQUIRED_KEYS).expect("valid");
+    }
+
+    #[test]
+    fn validator_accepts_json_grammar() {
+        for ok in [
+            "{}",
+            "[]",
+            "[1, -2.5, 1e9, 1.25E-3]",
+            r#"{"a": [true, false, null], "b": {"c": "d\nA"}}"#,
+            "  {  }  ",
+        ] {
+            validate_json(ok, &[]).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{]",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#"{"a": 1} x"#,
+            "01a",
+            "1.",
+            "1e",
+            r#""unterminated"#,
+        ] {
+            assert!(validate_json(bad, &[]).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn validator_checks_required_keys() {
+        let text = r#"{"schema": "x", "jobs": 2}"#;
+        validate_json(text, &["schema", "jobs"]).expect("present");
+        assert!(validate_json(text, &["schema", "phases"]).is_err());
+    }
+}

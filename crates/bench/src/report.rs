@@ -404,8 +404,7 @@ pub fn csv(m: &Matrix) -> String {
         emit("ir-early", &r.ir_early);
         emit("ir-late", &r.ir_late);
         for (key, stats) in &r.vp {
-            let (kind, _, _, vl) = key;
-            emit(&format!("vp-{kind:?}-{}-vl{vl}", vp_label(*key)), stats);
+            emit(&format!("vp-{}", vp_label(*key)), stats);
         }
     }
     out

@@ -59,10 +59,25 @@ impl ReturnStack {
         self.stack.clone()
     }
 
+    /// Snapshots the stack into `out`, reusing its capacity
+    /// (allocation-free once `out` has grown to the stack depth).
+    pub fn checkpoint_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(&self.stack);
+    }
+
     /// Restores a snapshot taken by [`ReturnStack::checkpoint`].
     pub fn restore(&mut self, snapshot: Vec<u64>) {
         self.stack = snapshot;
         self.stack.truncate(self.capacity);
+    }
+
+    /// Restores from a borrowed snapshot without taking ownership
+    /// (allocation-free counterpart of [`ReturnStack::restore`]).
+    pub fn restore_from(&mut self, snapshot: &[u64]) {
+        self.stack.clear();
+        let keep = snapshot.len().min(self.capacity);
+        self.stack.extend_from_slice(&snapshot[..keep]);
     }
 }
 

@@ -11,7 +11,7 @@ use vpir_predict::VptConfig;
 use vpir_reuse::RbConfig;
 
 /// Which value predictor drives the VPT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VpKind {
     /// `VP_Magic`: last-*n*-unique-values with oracle selection.
     Magic,
@@ -24,7 +24,7 @@ pub enum VpKind {
 
 /// How branches with value-speculative operands are resolved
 /// (Section 4.1.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BranchResolution {
     /// *Speculative branch resolution*: resolve as soon as the branch
     /// executes, even on value-speculative operands (may cause spurious
@@ -37,7 +37,7 @@ pub enum BranchResolution {
 }
 
 /// How often an instruction may re-execute after value mispredictions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Reexecution {
     /// *Multiple executions*: re-execute every time a new input value
     /// arrives.

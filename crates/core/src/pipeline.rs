@@ -169,7 +169,7 @@ struct FetchPred {
     ras_snapshot: Vec<u64>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct Checkpoint {
     map: Vec<Option<(usize, u64)>>,
     ras: Vec<u64>,
@@ -218,6 +218,15 @@ pub struct Simulator {
     rob: Rob,
     map: Vec<Option<(usize, u64)>>,
     checkpoints: BTreeMap<u64, Checkpoint>,
+
+    // Scratch buffers and pools, reused across cycles so the
+    // steady-state cycle loop performs no heap allocation (see
+    // DESIGN.md §8 for the ownership rules).
+    slot_scratch: Vec<usize>,
+    dropped_scratch: Vec<RobEntry>,
+    reg_scratch: Vec<Reg>,
+    cp_pool: Vec<Checkpoint>,
+    ras_pool: Vec<Vec<u64>>,
 
     // Back end.
     dcache: Cache,
@@ -280,6 +289,11 @@ impl Simulator {
             rob: Rob::new(config.rob_size),
             map: vec![None; vpir_isa::NUM_REGS],
             checkpoints: BTreeMap::new(),
+            slot_scratch: Vec::new(),
+            dropped_scratch: Vec::new(),
+            reg_scratch: Vec::new(),
+            cp_pool: Vec::new(),
+            ras_pool: Vec::new(),
             dcache: Cache::new(config.dcache),
             dports: PortArbiter::new(config.dcache_ports),
             fus: FuPool::new(config.fu_counts),
@@ -586,8 +600,10 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn writeback(&mut self) {
-        let slots: Vec<usize> = self.rob.slots_in_order().collect();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(self.rob.slots_in_order());
+        for &slot in &slots {
             let Some(e) = self.rob.get(slot) else { continue };
             let Some(pe) = e.exec else { continue };
             if pe.finish > self.now {
@@ -595,6 +611,7 @@ impl Simulator {
             }
             self.complete_exec(slot, pe);
         }
+        self.slot_scratch = slots;
     }
 
     fn complete_exec(&mut self, slot: usize, pe: PendingExec) {
@@ -802,8 +819,10 @@ impl Simulator {
     }
 
     fn promote(&mut self) {
-        let slots: Vec<usize> = self.rob.slots_in_order().collect();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(self.rob.slots_in_order());
+        for &slot in &slots {
             let Some(e) = self.rob.get(slot) else { continue };
             if e.nonspec_cycle.is_some() || e.exec.is_some() {
                 continue;
@@ -822,6 +841,7 @@ impl Simulator {
                 e.nonspec_cycle = Some(self.now);
             }
         }
+        self.slot_scratch = slots;
     }
 
     // ----------------------------------------------------------------
@@ -829,8 +849,10 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn resolve_branches(&mut self) {
-        let slots: Vec<usize> = self.rob.slots_in_order().collect();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(self.rob.slots_in_order());
+        for &slot in &slots {
             let Some(e) = self.rob.get(slot) else { continue };
             let Some(ctrl) = &e.ctrl else { continue };
             if ctrl.resolved || e.exec.is_some() {
@@ -855,6 +877,7 @@ impl Simulator {
                 break;
             }
         }
+        self.slot_scratch = slots;
     }
 
     fn branch_resolution(&self) -> BranchResolution {
@@ -913,7 +936,9 @@ impl Simulator {
             let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
             ctrl.resolved = true;
             ctrl.resolve_cycle = self.now;
-            self.checkpoints.remove(&seq);
+            if let Some(cp) = self.checkpoints.remove(&seq) {
+                self.cp_pool.push(cp);
+            }
         }
         mispredicted
     }
@@ -931,8 +956,10 @@ impl Simulator {
             self.stats.spurious_squashes += 1;
         }
 
-        // Discard younger instructions.
-        let dropped = self.rob.squash_after(seq);
+        // Discard younger instructions (into the reusable scratch Vec —
+        // `RobEntry` owns no heap data, so recycling it is free).
+        let mut dropped = std::mem::take(&mut self.dropped_scratch);
+        self.rob.squash_after_into(seq, &mut dropped);
         for d in &dropped {
             if let Some(t) = self.trace.as_mut() {
                 t.on_squash(d.seq, self.now);
@@ -954,7 +981,9 @@ impl Simulator {
                 }
             }
             if d.ctrl.is_some() {
-                self.checkpoints.remove(&d.seq);
+                if let Some(cp) = self.checkpoints.remove(&d.seq) {
+                    self.cp_pool.push(cp);
+                }
             }
         }
 
@@ -963,19 +992,23 @@ impl Simulator {
         // entries recorded at writeback may have captured the speculative
         // values. Collect the overwritten registers now and re-notify the
         // RB with their restored values once the rollback below completes.
-        let mut squashed_dsts: Vec<Reg> = dropped
-            .iter()
-            .filter(|d| d.out.result.is_some())
-            .filter_map(|d| d.inst.dst)
-            .collect();
+        let mut squashed_dsts = std::mem::take(&mut self.reg_scratch);
+        squashed_dsts.clear();
+        squashed_dsts.extend(
+            dropped
+                .iter()
+                .filter(|d| d.out.result.is_some())
+                .filter_map(|d| d.inst.dst),
+        );
         squashed_dsts.sort_unstable_by_key(|r| r.index());
         squashed_dsts.dedup();
 
         // Restore rename map and RAS from the squashing branch's
         // checkpoint (direct jumps never squash, so one always exists).
+        // `clone_from` / `restore_from` reuse the existing capacity.
         if let Some(cp) = self.checkpoints.get(&seq) {
-            self.map = cp.map.clone();
-            self.ras.restore(cp.ras.clone());
+            self.map.clone_from(&cp.map);
+            self.ras.restore_from(&cp.ras);
         }
 
         // Repair the speculative gshare history.
@@ -986,14 +1019,22 @@ impl Simulator {
         // Roll back speculative architectural state and restart fetch.
         self.spec.rollback_to(seq);
         if let Some(rb) = self.rb.as_mut() {
-            for reg in squashed_dsts {
+            for &reg in &squashed_dsts {
                 rb.on_reg_write(reg, self.spec.regs().read(reg));
             }
         }
-        self.fetch_queue.clear();
+        // Drain (rather than clear) the fetch queue so the RAS snapshots
+        // inside pending predictions return to the pool.
+        while let Some(f) = self.fetch_queue.pop_front() {
+            if let Some(p) = f.pred {
+                self.ras_pool.push(p.ras_snapshot);
+            }
+        }
         self.fetch_pc = next_pc;
         self.fetch_halted = false;
         self.fetch_stalled_until = self.now + 1;
+        self.dropped_scratch = dropped;
+        self.reg_scratch = squashed_dsts;
     }
 
     // ----------------------------------------------------------------
@@ -1001,8 +1042,10 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn memory_access(&mut self) {
-        let slots: Vec<usize> = self.rob.slots_in_order().collect();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(self.rob.slots_in_order());
+        for &slot in &slots {
             let Some(e) = self.rob.get(slot) else { continue };
             let Some(mem) = &e.mem else { continue };
             if !mem.is_load || e.reused || mem.access_finish.is_some() {
@@ -1116,6 +1159,7 @@ impl Simulator {
                 self.record_in_rb(slot);
             }
         }
+        self.slot_scratch = slots;
     }
 
     // ----------------------------------------------------------------
@@ -1173,8 +1217,10 @@ impl Simulator {
 
     fn issue(&mut self) {
         let mut issued = 0;
-        let slots: Vec<usize> = self.rob.slots_in_order().collect();
-        for slot in slots {
+        let mut slots = std::mem::take(&mut self.slot_scratch);
+        slots.clear();
+        slots.extend(self.rob.slots_in_order());
+        for &slot in &slots {
             if issued >= self.config.issue_width {
                 break;
             }
@@ -1247,6 +1293,7 @@ impl Simulator {
             }
             issued += 1;
         }
+        self.slot_scratch = slots;
     }
 
     // ----------------------------------------------------------------
@@ -1293,7 +1340,7 @@ impl Simulator {
 
     /// Dispatches one instruction; returns `true` if a reused branch
     /// resolved against the followed path and redirected fetch.
-    fn dispatch_one(&mut self, f: FetchedInst) -> bool {
+    fn dispatch_one(&mut self, mut f: FetchedInst) -> bool {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.dispatched += 1;
@@ -1382,16 +1429,17 @@ impl Simulator {
             _ => {}
         }
 
-        // Control state + checkpoint.
+        // Control state + checkpoint. The checkpoint comes from the pool
+        // (capacity reused via `clone_from`), and the fetch-time RAS
+        // snapshot is *moved* in rather than cloned; the checkpoint's old
+        // snapshot Vec returns to the pool for the next fetch.
         if matches!(inst.op.class(), OpClass::Branch | OpClass::JumpReg) {
-            let pred = f.pred.as_ref().expect("control insts carry predictions"); // vpir: allow(panic, fetch attaches a prediction to every branch and indirect jump)
-            self.checkpoints.insert(
-                seq,
-                Checkpoint {
-                    map: self.map.clone(),
-                    ras: pred.ras_snapshot.clone(),
-                },
-            );
+            let pred = f.pred.take().expect("control insts carry predictions"); // vpir: allow(panic, fetch attaches a prediction to every branch and indirect jump)
+            let mut cp = self.cp_pool.pop().unwrap_or_default();
+            cp.map.clone_from(&self.map);
+            let old_ras = std::mem::replace(&mut cp.ras, pred.ras_snapshot);
+            self.ras_pool.push(old_ras);
+            self.checkpoints.insert(seq, cp);
             entry.ctrl = Some(CtrlState {
                 followed_taken: pred.taken,
                 followed_target: pred.target,
@@ -1534,24 +1582,35 @@ impl Simulator {
         };
 
         // Dependence pointers of producers reused in this decode group
-        // (their entries enable same-cycle chain reuse under SnD).
-        let reused_now: Vec<vpir_reuse::EntryRef> = entry
-            .producers
-            .iter()
-            .flatten()
-            .filter_map(|(slot, pseq)| {
-                self.rob.get(*slot).and_then(|p| {
-                    if p.seq == *pseq && p.reused {
-                        p.reuse_source
-                    } else {
-                        None
-                    }
-                })
-            })
-            .collect();
+        // (their entries enable same-cycle chain reuse under SnD). At most
+        // two operands, so a stack array stands in for the old Vec.
+        let mut chain = [None, None];
+        for (i, p) in entry.producers.iter().enumerate() {
+            let Some((slot, pseq)) = p else { continue };
+            chain[i] = self.rob.get(*slot).and_then(|p| {
+                if p.seq == *pseq && p.reused {
+                    p.reuse_source
+                } else {
+                    None
+                }
+            });
+        }
+        let [c0, c1] = chain;
+        let backing;
+        let reused_now: &[vpir_reuse::EntryRef] = match (c0, c1) {
+            (Some(a), Some(b)) => {
+                backing = [a, b];
+                &backing
+            }
+            (Some(a), None) | (None, Some(a)) => {
+                backing = [a, a];
+                &backing[..1]
+            }
+            (None, None) => &[],
+        };
 
         let Some(rb) = self.rb.as_mut() else { return };
-        let Some(mut hit) = rb.lookup(entry.pc, op, &lookup_view, &reused_now) else {
+        let Some(mut hit) = rb.lookup(entry.pc, op, &lookup_view, reused_now) else {
             return;
         };
 
@@ -1658,6 +1717,14 @@ impl Simulator {
     // Fetch.
     // ----------------------------------------------------------------
 
+    /// A RAS snapshot in a pooled Vec (allocation-free once the pool has
+    /// warmed up; snapshots return to the pool at dispatch or squash).
+    fn take_ras_snapshot(&mut self) -> Vec<u64> {
+        let mut snap = self.ras_pool.pop().unwrap_or_default();
+        self.ras.checkpoint_into(&mut snap);
+        snap
+    }
+
     fn fetch(&mut self) {
         if self.fetch_halted || self.now < self.fetch_stalled_until {
             return;
@@ -1697,7 +1764,7 @@ impl Simulator {
                         target,
                         token,
                         used_ras: false,
-                        ras_snapshot: self.ras.checkpoint(),
+                        ras_snapshot: self.take_ras_snapshot(),
                     });
                 }
                 OpClass::Jump => {
@@ -1724,7 +1791,7 @@ impl Simulator {
                         target,
                         token: 0,
                         used_ras,
-                        ras_snapshot: self.ras.checkpoint(),
+                        ras_snapshot: self.take_ras_snapshot(),
                     });
                 }
                 _ => {}

@@ -285,6 +285,15 @@ impl Rob {
     /// entries youngest-last.
     pub fn squash_after(&mut self, seq: u64) -> Vec<RobEntry> {
         let mut dropped = Vec::new();
+        self.squash_after_into(seq, &mut dropped);
+        dropped
+    }
+
+    /// Allocation-free counterpart of [`Rob::squash_after`]: appends the
+    /// discarded entries to `out` (cleared first), youngest-last, reusing
+    /// `out`'s capacity.
+    pub fn squash_after_into(&mut self, seq: u64, out: &mut Vec<RobEntry>) {
+        out.clear();
         while self.len > 0 {
             let tail = (self.head + self.len - 1) % self.slots.len();
             let victim = match self.slots[tail].take() {
@@ -294,11 +303,10 @@ impl Rob {
                     break;
                 }
             };
-            dropped.push(victim);
+            out.push(victim);
             self.len -= 1;
         }
-        dropped.reverse();
-        dropped
+        out.reverse();
     }
 }
 

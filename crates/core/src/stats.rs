@@ -8,7 +8,7 @@ use vpir_predict::VptStats;
 use vpir_reuse::ReuseStats;
 
 /// Counters accumulated over one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

@@ -73,7 +73,7 @@ impl Default for LimitConfig {
 }
 
 /// Results of the limit study.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LimitStudy {
     /// Result-producing dynamic instructions observed.
     pub total: u64,

@@ -1,8 +1,8 @@
 //! The reuse buffer proper.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use vpir_isa::{MemWidth, Op, OpClass, Reg, NUM_REGS};
+
+use crate::slotset::SlotSet;
 
 /// Which reuse-test scheme the buffer applies (see the crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -202,22 +202,40 @@ struct Slot {
 /// Memory-invalidation index granularity (bytes per block).
 const BLOCK_SHIFT: u64 = 3;
 
+/// Buckets in the store-invalidation index. Distinct blocks may share a
+/// bucket; that is sound because [`ReuseBuffer::on_store`] re-checks the
+/// exact byte-range overlap for every candidate entry, and any entry
+/// genuinely overlapping a store shares at least one block (and hence
+/// one visited bucket) with it. 256 buckets cover 2 KiB of address
+/// space before aliasing, far beyond any single access.
+const MEM_BUCKETS: usize = 256;
+
 fn blocks(addr: u64, width: MemWidth) -> impl Iterator<Item = u64> {
     let first = addr >> BLOCK_SHIFT;
     let last = (addr + width.bytes() - 1) >> BLOCK_SHIFT;
     first..=last
 }
 
+fn mem_bucket(block: u64) -> usize {
+    (block as usize) & (MEM_BUCKETS - 1)
+}
+
 /// The reuse buffer: a set-associative, LRU table of previous executions
 /// with indexed invalidation on register writes and stores.
+///
+/// Both inverted indexes are fixed-size [`SlotSet`] bitmaps, sized at
+/// construction: maintaining and walking them allocates nothing, and
+/// iteration is in ascending slot order, preserving the deterministic
+/// behaviour of the `BTreeSet` indexes they replaced (R1).
 #[derive(Debug, Clone)]
 pub struct ReuseBuffer {
     config: RbConfig,
     slots: Vec<Slot>,
     /// Register → slots whose entries name that register as an operand.
-    reg_index: Vec<BTreeSet<u32>>,
-    /// 8-byte block → slots of load entries covering that block.
-    mem_index: BTreeMap<u64, BTreeSet<u32>>,
+    reg_index: Vec<SlotSet>,
+    /// Block bucket → slots of load entries covering a block in that
+    /// bucket (see [`MEM_BUCKETS`] for the aliasing argument).
+    mem_index: Vec<SlotSet>,
     stats: ReuseStats,
     tick: u64,
 }
@@ -237,8 +255,8 @@ impl ReuseBuffer {
         ReuseBuffer {
             config,
             slots: vec![Slot::default(); config.entries],
-            reg_index: vec![BTreeSet::new(); NUM_REGS],
-            mem_index: BTreeMap::new(),
+            reg_index: vec![SlotSet::new(config.entries); NUM_REGS],
+            mem_index: vec![SlotSet::new(config.entries); MEM_BUCKETS],
             stats: ReuseStats::default(),
             tick: 0,
         }
@@ -435,7 +453,7 @@ impl ReuseBuffer {
         if is_load {
             if let Some(m) = rec.mem {
                 for b in blocks(m.addr, m.width) {
-                    self.mem_index.entry(b).or_default().insert(idx as u32);
+                    self.mem_index[mem_bucket(b)].insert(idx as u32);
                 }
             }
         }
@@ -448,14 +466,12 @@ impl ReuseBuffer {
     fn unindex(&mut self, idx: usize) {
         if let Some(e) = self.slots[idx].entry.take() {
             for (reg, _) in e.srcs.iter().flatten() {
-                self.reg_index[reg.index()].remove(&(idx as u32));
+                self.reg_index[reg.index()].remove(idx as u32);
             }
             if let Some(m) = e.mem {
                 if e.op.class() == OpClass::Load {
                     for b in blocks(m.addr, m.width) {
-                        if let Some(set) = self.mem_index.get_mut(&b) {
-                            set.remove(&(idx as u32));
-                        }
+                        self.mem_index[mem_bucket(b)].remove(idx as u32);
                     }
                 }
             }
@@ -474,9 +490,19 @@ impl ReuseBuffer {
         if reg.is_zero() {
             return;
         }
-        let slots: Vec<u32> = self.reg_index[reg.index()].iter().copied().collect();
-        for s in slots {
-            let Some(entry) = self.slots[s as usize].entry.as_mut() else {
+        // Split borrows: the index is read while entries and stats are
+        // mutated, so no intermediate Vec of slot numbers is needed. The
+        // invalidation below never changes index membership (only the
+        // per-operand valid bits), so iterating the live index is safe.
+        let ReuseBuffer {
+            config,
+            slots,
+            reg_index,
+            stats,
+            ..
+        } = self;
+        for s in reg_index[reg.index()].iter() {
+            let Some(entry) = slots[s as usize].entry.as_mut() else {
                 continue;
             };
             for i in 0..2 {
@@ -486,23 +512,23 @@ impl ReuseBuffer {
                 if r != reg {
                     continue;
                 }
-                match self.config.scheme {
+                match config.scheme {
                     ReuseScheme::SnDValues => {
                         if stored == new_value {
                             if !entry.valid[i] {
-                                self.stats.revalidations += 1;
+                                stats.revalidations += 1;
                             }
                             entry.valid[i] = true;
                         } else {
                             if entry.valid[i] {
-                                self.stats.reg_invalidations += 1;
+                                stats.reg_invalidations += 1;
                             }
                             entry.valid[i] = false;
                         }
                     }
                     ReuseScheme::Sn | ReuseScheme::SnD => {
                         if entry.valid[i] {
-                            self.stats.reg_invalidations += 1;
+                            stats.reg_invalidations += 1;
                         }
                         entry.valid[i] = false;
                     }
@@ -517,19 +543,24 @@ impl ReuseBuffer {
     pub fn on_store(&mut self, addr: u64, width: MemWidth) {
         let start = addr;
         let end = addr + width.bytes();
+        // Split borrows, as in `on_reg_write`. Bucket aliasing may offer
+        // non-overlapping candidate entries; the exact byte-range check
+        // rejects them, and the `mem_valid` guard keeps the invalidation
+        // (and its count) idempotent when a multi-block store visits the
+        // same entry through two buckets.
+        let ReuseBuffer {
+            slots, mem_index, stats, ..
+        } = self;
         for b in blocks(addr, width) {
-            let Some(set) = self.mem_index.get(&b) else {
-                continue;
-            };
-            for &s in set.iter() {
-                let Some(entry) = self.slots[s as usize].entry.as_mut() else {
+            for s in mem_index[mem_bucket(b)].iter() {
+                let Some(entry) = slots[s as usize].entry.as_mut() else {
                     continue;
                 };
                 let Some(m) = entry.mem else { continue };
                 let (es, ee) = (m.addr, m.addr + m.width.bytes());
                 if es < end && start < ee && entry.mem_valid {
                     entry.mem_valid = false;
-                    self.stats.mem_invalidations += 1;
+                    stats.mem_invalidations += 1;
                 }
             }
         }

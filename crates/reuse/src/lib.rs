@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod slotset;
 
 pub use buffer::{
     EntryRef, OperandView, RbConfig, RbInsert, RbMem, ReuseBuffer, ReuseScheme, Reused,

@@ -5,6 +5,7 @@
 //! vpir asm <prog.s> -o <prog.vpir>
 //! vpir disasm <prog.s|prog.vpir>
 //! vpir limit <prog.s|prog.vpir> [--insts N]
+//! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
 //!
 //! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
 //!           and every paper configuration like vp:nme-nsb:vl1
@@ -18,15 +19,19 @@ use vpir::core::{
     BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
     VpConfig, VpKind,
 };
+use vpir::bench::matrix::MatrixConfig;
+use vpir::bench::perf::{run_matrix_timed, validate_json, REQUIRED_KEYS};
 use vpir::isa::{asm, image, Program};
 use vpir::redundancy::{analyze, LimitConfig};
+use vpir::workloads::Scale;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  vpir run <prog.s|prog.vpir> [--machine M] [--cycles N] [--trace N] [--disasm]\n  \
          vpir asm <prog.s> -o <prog.vpir>\n  \
          vpir disasm <prog.s|prog.vpir>\n  \
-         vpir limit <prog.s|prog.vpir> [--insts N]\n\n\
+         vpir limit <prog.s|prog.vpir> [--insts N]\n  \
+         vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n\n\
          machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
          \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
     );
@@ -108,6 +113,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(&args[1..]),
         "disasm" => cmd_disasm(&args[1..]),
         "limit" => cmd_limit(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -203,6 +209,56 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     };
     let program = load_program(path)?;
     print!("{}", program.disassemble());
+    Ok(())
+}
+
+/// Runs the measured benchmark matrix and writes `BENCH_matrix.json`.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut cfg = MatrixConfig::quick();
+    let mut jobs = 0usize; // 0 = available parallelism
+    let mut out_path = "BENCH_matrix.json".to_string();
+    let mut compare_sequential = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cfg = MatrixConfig::experiment(),
+            "--scale" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--scale needs a number")?;
+                cfg.scale = Scale::of(n);
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--jobs needs a number")?;
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().ok_or("--out needs a path")?;
+            }
+            "--compare-sequential" => compare_sequential = true,
+            other => return Err(format!("bench: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let (_matrix, perf) = run_matrix_timed(cfg, jobs, compare_sequential);
+    let json = perf.to_json();
+    validate_json(&json, REQUIRED_KEYS)
+        .map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
+    fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{}", perf.summary());
+    println!("wrote {out_path}");
+    if let Some((_, _, identical)) = perf.sequential {
+        if !identical {
+            return Err("parallel result is not bit-identical to sequential".into());
+        }
+    }
     Ok(())
 }
 

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vpir_bench as bench;
 pub use vpir_branch as branch;
 pub use vpir_core as core;
 pub use vpir_isa as isa;

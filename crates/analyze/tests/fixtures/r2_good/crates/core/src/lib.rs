@@ -28,6 +28,23 @@ impl Scratch {
     }
 }
 
+/// The fault-isolation boundary idiom from the bench matrix runner: a
+/// job runs behind `catch_unwind`, and a panic degrades to a structured
+/// error value instead of tearing down the caller. Note the shape is
+/// R2-clean without any allow — the payload is examined with
+/// `downcast_ref` + fallbacks, never unwrapped.
+pub fn isolated<T>(job: impl FnOnce() -> T) -> Result<T, String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    match result {
+        Ok(out) => Ok(out),
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -35,5 +52,6 @@ mod tests {
         let xs = [1u64, 2];
         assert_eq!(xs[0], 1);
         assert_eq!(super::head(&xs, Some(3)).unwrap(), 3);
+        assert!(super::isolated(|| panic!("boom")).is_err());
     }
 }

@@ -22,6 +22,10 @@ pub mod matrix;
 pub mod microbench;
 pub mod perf;
 pub mod report;
+pub mod state;
 
-pub use matrix::{BenchRuns, Matrix, MatrixConfig, VpKey};
-pub use perf::{run_matrix_timed, MatrixPerf};
+pub use matrix::{
+    BenchRuns, FaultMode, InjectFault, JobFailure, Matrix, MatrixConfig, MatrixOutcome,
+    RunOptions, VpKey,
+};
+pub use perf::{run_matrix_timed, run_matrix_timed_opts, MatrixPerf};

@@ -8,18 +8,29 @@
 //! results in a fixed order. The assembled [`Matrix`] is bit-identical
 //! for every worker count (including one); `tests/parallel.rs` locks
 //! that equivalence in.
+//!
+//! Jobs are fault-isolated: a panic or a structured [`SimError`] in one
+//! cell degrades that cell to a [`JobFailure`] while every other cell
+//! still produces numbers ([`run_matrix_outcome`]). With a dump
+//! directory, finished jobs are persisted incrementally and a resumed
+//! run re-executes only the missing or failed cells, reassembling a
+//! matrix bit-identical to an uninterrupted one.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use vpir_core::{
-    BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, SimStats, Simulator,
-    Validation, VpConfig, VpKind,
+    BranchResolution, CoreConfig, FaultInjection, IrConfig, Reexecution, RunLimits, SimError,
+    SimStats, Simulator, Validation, VpConfig, VpKind,
 };
 use vpir_isa::Program;
 use vpir_redundancy::{analyze, LimitConfig, LimitStudy};
 use vpir_workloads::{Bench, Scale};
+
+use crate::state::{self, JobPayload, JobRecord};
 
 /// Identifies one VP configuration in the matrix.
 pub type VpKey = (VpKind, Reexecution, BranchResolution, u32);
@@ -226,6 +237,18 @@ fn job_kinds() -> Vec<JobKind> {
     kinds
 }
 
+/// The configuration label of a job, as used in job files, failure
+/// reports, and `--inject-fault` targets.
+fn job_label(kind: JobKind) -> String {
+    match kind {
+        JobKind::Base => "base".to_string(),
+        JobKind::Vp(key) => vp_label(key),
+        JobKind::IrEarly => "ir_early".to_string(),
+        JobKind::IrLate => "ir_late".to_string(),
+        JobKind::Limit => "limit".to_string(),
+    }
+}
+
 /// Runs one job. Each job constructs its own simulator over a shared,
 /// immutable program, so results are independent of scheduling.
 fn run_job(prog: &Program, cfg: MatrixConfig, kind: JobKind) -> JobOut {
@@ -283,32 +306,335 @@ pub fn build_programs(benches: &[Bench], scale: Scale) -> Vec<Program> {
     benches.iter().map(|b| b.program(scale)).collect()
 }
 
+// ----------------------------------------------------------------
+// Fault isolation, injection, and resumable persistence.
+// ----------------------------------------------------------------
+
+/// How an injected fault manifests inside the targeted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Wedge the simulated commit stage so the forward-progress
+    /// watchdog trips with a full diagnostic snapshot (the default).
+    Wedge,
+    /// Panic inside the worker, exercising the `catch_unwind` boundary.
+    Panic,
+}
+
+/// A deterministic fault targeted at one matrix cell (`--inject-fault`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectFault {
+    /// Benchmark name, e.g. `"go"`.
+    pub bench: String,
+    /// Configuration label, e.g. `"base"` or `"magic:ME-SB:vl1"`.
+    pub config: String,
+    /// How the fault manifests.
+    pub mode: FaultMode,
+}
+
+impl InjectFault {
+    /// Parses a `<bench>/<config>[:panic|:wedge]` target spec.
+    ///
+    /// Config labels themselves contain `:` (e.g. `magic:ME-SB:vl1`),
+    /// so the mode suffix is recognised only at the very end.
+    pub fn parse(spec: &str) -> Result<InjectFault, String> {
+        let (target, mode) = if let Some(t) = spec.strip_suffix(":panic") {
+            (t, FaultMode::Panic)
+        } else if let Some(t) = spec.strip_suffix(":wedge") {
+            (t, FaultMode::Wedge)
+        } else {
+            (spec, FaultMode::Wedge)
+        };
+        let (bench, config) = target
+            .split_once('/')
+            .ok_or_else(|| format!("bad fault target `{spec}`: want <bench>/<config>[:panic|:wedge]"))?;
+        if bench.is_empty() || config.is_empty() {
+            return Err(format!("bad fault target `{spec}`: empty bench or config"));
+        }
+        Ok(InjectFault {
+            bench: bench.to_string(),
+            config: config.to_string(),
+            mode,
+        })
+    }
+}
+
+/// Options controlling fault isolation and persistence of a matrix run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Directory for incremental per-job result files and failure
+    /// dumps. `None` disables persistence.
+    pub dump_dir: Option<PathBuf>,
+    /// Reload completed job files from `dump_dir` and re-execute only
+    /// the missing or failed cells.
+    pub resume: bool,
+    /// Inject a deterministic fault into one cell (CI hook).
+    pub inject_fault: Option<InjectFault>,
+}
+
+/// One matrix cell that failed instead of producing numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Flat index in the matrix's fixed job order.
+    pub job_index: usize,
+    /// Benchmark name.
+    pub bench: String,
+    /// Configuration label.
+    pub config: String,
+    /// Failure class: a [`SimError`] kind, or `"panic"`.
+    pub kind: String,
+    /// Human-readable description.
+    pub error: String,
+    /// Where the failure dump was written, when persistence is on.
+    pub dump_path: Option<PathBuf>,
+}
+
+/// The result of a fault-isolated matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// Number of cells in the matrix.
+    pub total_jobs: usize,
+    /// Cells that produced a result (freshly run or resumed).
+    pub completed_jobs: usize,
+    /// Cells reloaded from the dump directory instead of re-run.
+    pub resumed_jobs: usize,
+    /// Cells that failed, in job order.
+    pub failures: Vec<JobFailure>,
+    /// The assembled matrix — present only when every cell completed.
+    pub matrix: Option<Matrix>,
+}
+
+impl MatrixOutcome {
+    /// True when every cell produced a result.
+    pub fn fully_completed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// A job's slot once a worker (or the resume preload) has filled it.
+enum SlotOut {
+    Done(JobOut),
+    Failed {
+        kind: String,
+        error: String,
+        sim_json: Option<String>,
+    },
+}
+
+/// Like [`run_job`], but surfaces structured simulator failures instead
+/// of swallowing them, and optionally wedges the commit stage for fault
+/// injection.
+fn run_job_checked(
+    prog: &Program,
+    cfg: MatrixConfig,
+    kind: JobKind,
+    wedge: bool,
+) -> Result<JobOut, SimError> {
+    let limits = RunLimits::cycles(cfg.max_cycles);
+    let run = |mut core: CoreConfig| -> Result<JobOut, SimError> {
+        if wedge {
+            // A commit stage that stalls after 100 instructions, with a
+            // watchdog window short enough to trip within any budget.
+            core.fault = FaultInjection::CommitStall { after_commits: 100 };
+            core.watchdog_cycles = 5_000;
+        }
+        let mut sim = Simulator::new(prog, core);
+        Ok(JobOut::Stats(sim.run_checked(limits)?.clone()))
+    };
+    match kind {
+        JobKind::Base => run(CoreConfig::table1()),
+        JobKind::Vp(key) => run(CoreConfig::with_vp(vp_config(key))),
+        JobKind::IrEarly => run(CoreConfig::with_ir(IrConfig::table1())),
+        JobKind::IrLate => run(CoreConfig::with_ir(IrConfig {
+            validation: Validation::Late,
+            ..IrConfig::table1()
+        })),
+        JobKind::Limit => {
+            if wedge {
+                // The limit study is functional (no pipeline to wedge);
+                // an injected fault still degrades it structurally.
+                return Err(SimError::Internal {
+                    cycle: 0,
+                    what: "injected fault: the limit study has no commit stage to wedge"
+                        .to_string(),
+                });
+            }
+            Ok(JobOut::Limit(analyze(prog, cfg.limit_insts, LimitConfig::default())))
+        }
+    }
+}
+
+/// Runs one job behind a `catch_unwind` boundary: a panic (including an
+/// injected one) or a structured [`SimError`] becomes a failed slot,
+/// never a dead worker. Panic messages still reach stderr through the
+/// default hook, which is intentional — the dump records the message,
+/// the console shows the backtrace.
+fn execute_job(
+    prog: &Program,
+    cfg: MatrixConfig,
+    kind: JobKind,
+    inject: Option<&InjectFault>,
+) -> SlotOut {
+    let wedge = matches!(inject.map(|f| f.mode), Some(FaultMode::Wedge));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if matches!(inject.map(|f| f.mode), Some(FaultMode::Panic)) {
+            panic!("injected fault: forced worker panic for isolation testing");
+        }
+        run_job_checked(prog, cfg, kind, wedge)
+    }));
+    match result {
+        Ok(Ok(out)) => SlotOut::Done(out),
+        Ok(Err(e)) => SlotOut::Failed {
+            kind: e.kind().to_string(),
+            error: e.to_string(),
+            sim_json: Some(e.to_json()),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            SlotOut::Failed {
+                kind: "panic".to_string(),
+                error: msg,
+                sim_json: None,
+            }
+        }
+    }
+}
+
+/// True when a reloaded job record was produced by this exact cell
+/// under this exact matrix configuration.
+fn record_matches(rec: &JobRecord, bench: Bench, cfg: MatrixConfig, kind: JobKind) -> bool {
+    let payload_fits = match (&rec.payload, kind) {
+        (JobPayload::Limit(_), JobKind::Limit) => true,
+        (JobPayload::Stats(_), JobKind::Limit) => false,
+        (JobPayload::Stats(_), _) => true,
+        (JobPayload::Limit(_), _) => false,
+    };
+    payload_fits
+        && rec.bench == bench.name()
+        && rec.config == job_label(kind)
+        && rec.scale == cfg.scale.outer
+        && rec.max_cycles == cfg.max_cycles
+        && rec.limit_insts == cfg.limit_insts
+}
+
+/// Persists a finished slot into the dump directory. Best-effort: an
+/// I/O error here loses the persisted copy (so `--resume` would re-run
+/// the cell) but never the in-memory result.
+fn persist_slot(
+    dir: &Path,
+    job_index: usize,
+    bench: Bench,
+    label: &str,
+    cfg: MatrixConfig,
+    slot: &SlotOut,
+) {
+    match slot {
+        SlotOut::Done(out) => {
+            let payload = match out {
+                JobOut::Stats(s) => JobPayload::Stats(s.clone()),
+                JobOut::Limit(l) => JobPayload::Limit(l.clone()),
+            };
+            let rec = JobRecord {
+                job_index,
+                bench: bench.name().to_string(),
+                config: label.to_string(),
+                scale: cfg.scale.outer,
+                max_cycles: cfg.max_cycles,
+                limit_insts: cfg.limit_insts,
+                payload,
+            };
+            let _ = state::write_job(dir, &rec);
+            let _ = std::fs::remove_file(state::failure_path(dir, job_index));
+        }
+        SlotOut::Failed {
+            kind,
+            error,
+            sim_json,
+        } => {
+            let mut out = String::new();
+            out.push_str("{\n");
+            out.push_str(&format!("  \"schema\": \"{}\",\n", state::FAILURE_SCHEMA));
+            out.push_str(&format!("  \"job_index\": {job_index},\n"));
+            out.push_str(&format!(
+                "  \"bench\": \"{}\",\n",
+                state::json_escape(bench.name())
+            ));
+            out.push_str(&format!("  \"config\": \"{}\",\n", state::json_escape(label)));
+            out.push_str(&format!("  \"kind\": \"{}\",\n", state::json_escape(kind)));
+            out.push_str(&format!("  \"error\": \"{}\",\n", state::json_escape(error)));
+            match sim_json {
+                Some(j) => out.push_str(&format!(
+                    "  \"sim_error\": {}\n",
+                    j.replace('\n', "\n  ")
+                )),
+                None => out.push_str("  \"sim_error\": null\n"),
+            }
+            out.push_str("}\n");
+            let _ = std::fs::write(state::failure_path(dir, job_index), out);
+            // A stale success from an earlier run must not mask this
+            // failure when the directory is later resumed.
+            let _ = std::fs::remove_file(state::job_path(dir, job_index));
+        }
+    }
+}
+
 /// Runs the matrix over prebuilt programs with `jobs` workers
-/// (`jobs == 0` means [`default_jobs`]).
+/// (`jobs == 0` means [`default_jobs`]), fault-isolated per job.
 ///
 /// Scheduling: the flat (benchmark × configuration) job list is
 /// consumed through a single atomic cursor; each worker claims the
 /// next unclaimed job and writes its result into that job's dedicated
 /// slot. Reassembly reads the slots in list order, so the output is
 /// independent of which worker ran which job and bit-matches
-/// [`run_bench`] applied sequentially.
-pub fn run_matrix_prebuilt(
+/// [`run_bench`] applied sequentially — including across a
+/// resume, because each slot's counters round-trip exactly through its
+/// job file.
+pub fn run_matrix_outcome(
     benches: &[Bench],
     progs: &[Program],
     cfg: MatrixConfig,
     jobs: usize,
-) -> Matrix {
+    opts: &RunOptions,
+) -> MatrixOutcome {
     assert_eq!(benches.len(), progs.len(), "one program per benchmark");
     let kinds = job_kinds();
     let job_list: Vec<(usize, JobKind)> = (0..benches.len())
         .flat_map(|bi| kinds.iter().map(move |&k| (bi, k)))
         .collect();
 
+    if let Some(dir) = &opts.dump_dir {
+        let _ = std::fs::create_dir_all(dir);
+    }
+
+    let results: Vec<Mutex<Option<SlotOut>>> =
+        job_list.iter().map(|_| Mutex::new(None)).collect();
+
+    // Resume preload, single-threaded before any worker starts: a
+    // reloaded cell fills its slot and is skipped by the claim loop.
+    let mut resumed_jobs = 0usize;
+    if opts.resume {
+        if let Some(dir) = &opts.dump_dir {
+            for (i, &(bi, kind)) in job_list.iter().enumerate() {
+                let Some(rec) = state::load_job(dir, i) else { continue };
+                if !record_matches(&rec, benches[bi], cfg, kind) {
+                    continue;
+                }
+                let out = match rec.payload {
+                    JobPayload::Stats(s) => JobOut::Stats(s),
+                    JobPayload::Limit(l) => JobOut::Limit(l),
+                };
+                *results[i].lock().expect("no poisoned preload") = Some(SlotOut::Done(out));
+                resumed_jobs += 1;
+            }
+        }
+    }
+
     let workers = if jobs == 0 { default_jobs() } else { jobs }
         .min(job_list.len())
         .max(1);
-    let results: Vec<Mutex<Option<JobOut>>> =
-        job_list.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
@@ -316,28 +642,96 @@ pub fn run_matrix_prebuilt(
             s.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&(bi, kind)) = job_list.get(i) else { break };
-                let out = run_job(&progs[bi], cfg, kind);
-                *results[i].lock().expect("no poisoned worker") = Some(out);
+                let resumed = results[i].lock().expect("no poisoned worker").is_some();
+                if resumed {
+                    continue;
+                }
+                let bench = benches[bi];
+                let label = job_label(kind);
+                let inject = opts
+                    .inject_fault
+                    .as_ref()
+                    .filter(|f| f.bench == bench.name() && f.config == label);
+                let slot = execute_job(&progs[bi], cfg, kind, inject);
+                if let Some(dir) = &opts.dump_dir {
+                    persist_slot(dir, i, bench, &label, cfg, &slot);
+                }
+                *results[i].lock().expect("no poisoned worker") = Some(slot);
             });
         }
     });
 
-    // Reassemble in job-list order: the closure below is called by
-    // `assemble_bench` in exactly `job_kinds()` order per benchmark,
-    // which is the order the job list was built in.
-    let mut outs = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("workers done").expect("job ran"));
-    let runs = benches
-        .iter()
-        .enumerate()
-        .map(|(bi, &bench)| {
-            assemble_bench(bench, &progs[bi], cfg, |_kind| {
-                outs.next().expect("one result per job")
+    // Collect: failures become report rows, successes feed reassembly.
+    let mut failures = Vec::new();
+    let mut outs: Vec<Option<JobOut>> = Vec::with_capacity(job_list.len());
+    for (i, m) in results.into_iter().enumerate() {
+        let (bi, kind) = job_list[i];
+        match m.into_inner().expect("workers done").expect("job ran") {
+            SlotOut::Done(out) => outs.push(Some(out)),
+            SlotOut::Failed { kind: fkind, error, .. } => {
+                failures.push(JobFailure {
+                    job_index: i,
+                    bench: benches[bi].name().to_string(),
+                    config: job_label(kind),
+                    kind: fkind,
+                    error,
+                    dump_path: opts.dump_dir.as_ref().map(|d| state::failure_path(d, i)),
+                });
+                outs.push(None);
+            }
+        }
+    }
+
+    let total_jobs = job_list.len();
+    let completed_jobs = total_jobs - failures.len();
+    let matrix = failures.is_empty().then(|| {
+        // Reassemble in job-list order: the closure below is called by
+        // `assemble_bench` in exactly `job_kinds()` order per
+        // benchmark, which is the order the job list was built in.
+        let mut it = outs.into_iter().map(|o| o.expect("no failures"));
+        let runs = benches
+            .iter()
+            .enumerate()
+            .map(|(bi, &bench)| {
+                assemble_bench(bench, &progs[bi], cfg, |_kind| {
+                    it.next().expect("one result per job")
+                })
             })
-        })
-        .collect();
-    Matrix { runs }
+            .collect();
+        Matrix { runs }
+    });
+
+    MatrixOutcome {
+        total_jobs,
+        completed_jobs,
+        resumed_jobs,
+        failures,
+        matrix,
+    }
+}
+
+/// Runs the matrix over prebuilt programs with `jobs` workers
+/// (`jobs == 0` means [`default_jobs`]), with no persistence and no
+/// injection. Panics if any cell fails — callers that want graceful
+/// degradation use [`run_matrix_outcome`].
+pub fn run_matrix_prebuilt(
+    benches: &[Bench],
+    progs: &[Program],
+    cfg: MatrixConfig,
+    jobs: usize,
+) -> Matrix {
+    let outcome = run_matrix_outcome(benches, progs, cfg, jobs, &RunOptions::default());
+    if let Some(first) = outcome.failures.first() {
+        panic!(
+            "matrix run failed: {} of {} jobs failed (first: {}/{}: {})",
+            outcome.failures.len(),
+            outcome.total_jobs,
+            first.bench,
+            first.config,
+            first.error
+        );
+    }
+    outcome.matrix.expect("no failures")
 }
 
 /// Runs the matrix over `benches` with `jobs` workers (`0` = default).
@@ -385,6 +779,41 @@ mod tests {
         let uniq: std::collections::BTreeSet<String> =
             kinds.iter().map(|k| format!("{k:?}")).collect();
         assert_eq!(uniq.len(), kinds.len());
+    }
+
+    #[test]
+    fn fault_targets_parse_with_and_without_modes() {
+        let f = InjectFault::parse("go/ir_late").expect("parse");
+        assert_eq!(
+            f,
+            InjectFault {
+                bench: "go".to_string(),
+                config: "ir_late".to_string(),
+                mode: FaultMode::Wedge,
+            }
+        );
+        // Config labels contain `:`, so the mode suffix binds last.
+        let f = InjectFault::parse("gcc/magic:ME-SB:vl1:panic").expect("parse");
+        assert_eq!(f.config, "magic:ME-SB:vl1");
+        assert_eq!(f.mode, FaultMode::Panic);
+        let f = InjectFault::parse("gcc/lvp:NME-NSB:vl0:wedge").expect("parse");
+        assert_eq!(f.config, "lvp:NME-NSB:vl0");
+        assert_eq!(f.mode, FaultMode::Wedge);
+
+        assert!(InjectFault::parse("no-slash").is_err());
+        assert!(InjectFault::parse("/config").is_err());
+        assert!(InjectFault::parse("bench/").is_err());
+    }
+
+    #[test]
+    fn every_job_kind_has_a_distinct_label() {
+        let labels: std::collections::BTreeSet<String> =
+            job_kinds().into_iter().map(job_label).collect();
+        assert_eq!(labels.len(), 20);
+        assert!(labels.contains("base"));
+        assert!(labels.contains("ir_early"));
+        assert!(labels.contains("ir_late"));
+        assert!(labels.contains("limit"));
     }
 
     #[test]

@@ -12,8 +12,10 @@ use std::time::Instant;
 use vpir_workloads::Bench;
 
 use crate::matrix::{
-    build_programs, default_jobs, run_bench, run_matrix_prebuilt, Matrix, MatrixConfig,
+    build_programs, default_jobs, run_bench, run_matrix_outcome, JobFailure, Matrix,
+    MatrixConfig, MatrixOutcome, RunOptions,
 };
+use crate::state::json_escape;
 
 /// Timings and rates for one measured matrix run.
 #[derive(Debug, Clone)]
@@ -32,6 +34,12 @@ pub struct MatrixPerf {
     pub benches: Vec<String>,
     /// Cycle-level simulator runs in the matrix.
     pub sim_runs: usize,
+    /// Cells in the (benchmark × configuration) matrix.
+    pub total_jobs: usize,
+    /// Cells that produced a result (the rest degraded to failures).
+    pub completed_jobs: usize,
+    /// Cells that failed, in job order (empty on a clean run).
+    pub failures: Vec<JobFailure>,
     /// Seconds spent building benchmark programs (single-threaded).
     pub build_seconds: f64,
     /// Seconds spent in the parallel simulate phase.
@@ -49,37 +57,78 @@ pub struct MatrixPerf {
 /// phase. With `compare_sequential`, also runs the reference sequential
 /// runner and records its time, the speedup, and whether the parallel
 /// result is bit-identical to it.
+///
+/// Panics if any cell fails; callers that want graceful degradation use
+/// [`run_matrix_timed_opts`].
 pub fn run_matrix_timed(
     cfg: MatrixConfig,
     jobs: usize,
     compare_sequential: bool,
 ) -> (Matrix, MatrixPerf) {
-    let benches = Bench::ALL;
+    let (outcome, perf) = run_matrix_timed_opts(
+        &Bench::ALL,
+        cfg,
+        jobs,
+        compare_sequential,
+        &RunOptions::default(),
+    );
+    if let Some(first) = outcome.failures.first() {
+        panic!(
+            "matrix run failed: {} of {} jobs failed (first: {}/{}: {})",
+            outcome.failures.len(),
+            outcome.total_jobs,
+            first.bench,
+            first.config,
+            first.error
+        );
+    }
+    (outcome.matrix.expect("no failures"), perf)
+}
+
+/// Runs `benches` through the fault-isolated matrix runner with `jobs`
+/// workers (`0` = default), timing each phase.
+///
+/// Failed cells degrade to [`JobFailure`] rows in the perf record (and
+/// `outcome.matrix` is `None`); every other cell still produces
+/// numbers. On a failed run the cycle totals are reported as zero —
+/// they are only meaningful for a complete matrix. The sequential
+/// comparison is skipped when any cell failed.
+pub fn run_matrix_timed_opts(
+    benches: &[Bench],
+    cfg: MatrixConfig,
+    jobs: usize,
+    compare_sequential: bool,
+    opts: &RunOptions,
+) -> (MatrixOutcome, MatrixPerf) {
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
 
     let t0 = Instant::now();
-    let progs = build_programs(&benches, cfg.scale);
+    let progs = build_programs(benches, cfg.scale);
     let build_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let matrix = run_matrix_prebuilt(&benches, &progs, cfg, jobs);
+    let outcome = run_matrix_outcome(benches, &progs, cfg, jobs, opts);
     let simulate_seconds = t1.elapsed().as_secs_f64();
 
-    let sequential = compare_sequential.then(|| {
-        let t2 = Instant::now();
-        let seq = Matrix {
-            runs: benches.iter().map(|&b| run_bench(b, cfg)).collect(),
-        };
-        let seq_seconds = t2.elapsed().as_secs_f64();
-        let speedup = if simulate_seconds > 0.0 {
-            seq_seconds / simulate_seconds
-        } else {
-            0.0
-        };
-        (seq_seconds, speedup, seq == matrix)
-    });
+    let sequential = match &outcome.matrix {
+        Some(matrix) if compare_sequential => {
+            let t2 = Instant::now();
+            let seq = Matrix {
+                runs: benches.iter().map(|&b| run_bench(b, cfg)).collect(),
+            };
+            let seq_seconds = t2.elapsed().as_secs_f64();
+            let speedup = if simulate_seconds > 0.0 {
+                seq_seconds / simulate_seconds
+            } else {
+                0.0
+            };
+            Some((seq_seconds, speedup, seq == *matrix))
+        }
+        _ => None,
+    };
 
-    let total_sim_cycles = matrix.total_sim_cycles();
+    let total_sim_cycles = outcome.matrix.as_ref().map_or(0, Matrix::total_sim_cycles);
+    let sim_runs = outcome.matrix.as_ref().map_or(0, Matrix::sim_run_count);
     let perf = MatrixPerf {
         scale: cfg.scale.outer,
         max_cycles: cfg.max_cycles,
@@ -87,7 +136,10 @@ pub fn run_matrix_timed(
         jobs,
         available_parallelism: default_jobs(),
         benches: benches.iter().map(|b| b.name().to_string()).collect(),
-        sim_runs: matrix.sim_run_count(),
+        sim_runs,
+        total_jobs: outcome.total_jobs,
+        completed_jobs: outcome.completed_jobs,
+        failures: outcome.failures.clone(),
         build_seconds,
         simulate_seconds,
         total_sim_cycles,
@@ -98,7 +150,7 @@ pub fn run_matrix_timed(
         },
         sequential,
     };
-    (matrix, perf)
+    (outcome, perf)
 }
 
 impl MatrixPerf {
@@ -106,7 +158,7 @@ impl MatrixPerf {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"vpir-bench-matrix-v1\",\n");
+        s.push_str("  \"schema\": \"vpir-bench-matrix-v2\",\n");
         s.push_str(&format!("  \"scale\": {},\n", self.scale));
         s.push_str(&format!("  \"max_cycles\": {},\n", self.max_cycles));
         s.push_str(&format!("  \"limit_insts\": {},\n", self.limit_insts));
@@ -124,6 +176,26 @@ impl MatrixPerf {
         }
         s.push_str("],\n");
         s.push_str(&format!("  \"sim_runs\": {},\n", self.sim_runs));
+        s.push_str(&format!("  \"total_jobs\": {},\n", self.total_jobs));
+        s.push_str(&format!("  \"completed_jobs\": {},\n", self.completed_jobs));
+        s.push_str("  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    {" } else { "\n    {" });
+            s.push_str(&format!("\"job_index\": {}, ", f.job_index));
+            s.push_str(&format!("\"bench\": \"{}\", ", json_escape(&f.bench)));
+            s.push_str(&format!("\"config\": \"{}\", ", json_escape(&f.config)));
+            s.push_str(&format!("\"kind\": \"{}\", ", json_escape(&f.kind)));
+            s.push_str(&format!("\"error\": \"{}\", ", json_escape(&f.error)));
+            match &f.dump_path {
+                Some(p) => s.push_str(&format!(
+                    "\"dump_path\": \"{}\"",
+                    json_escape(&p.to_string_lossy())
+                )),
+                None => s.push_str("\"dump_path\": null"),
+            }
+            s.push('}');
+        }
+        s.push_str(if self.failures.is_empty() { "],\n" } else { "\n  ],\n" });
         s.push_str("  \"phases\": {\n");
         s.push_str(&format!(
             "    \"build_programs_seconds\": {:.6},\n",
@@ -171,6 +243,13 @@ impl MatrixPerf {
             line.push_str(&format!(
                 "; sequential {:.2}s, speedup {:.2}x, bit-identical: {}",
                 secs, speedup, identical
+            ));
+        }
+        if !self.failures.is_empty() {
+            line.push_str(&format!(
+                "; {} of {} cells FAILED",
+                self.failures.len(),
+                self.total_jobs
             ));
         }
         line
@@ -421,6 +500,9 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "available_parallelism",
     "benches",
     "sim_runs",
+    "total_jobs",
+    "completed_jobs",
+    "failures",
     "phases",
     "total_sim_cycles",
     "sim_cycles_per_sec",
@@ -440,6 +522,16 @@ mod tests {
             available_parallelism: 8,
             benches: vec!["go".to_string(), "gcc".to_string()],
             sim_runs: 40,
+            total_jobs: 40,
+            completed_jobs: 39,
+            failures: vec![JobFailure {
+                job_index: 12,
+                bench: "go".to_string(),
+                config: "ir_late".to_string(),
+                kind: "livelock".to_string(),
+                error: "no commit for 5000 cycles".to_string(),
+                dump_path: Some(std::path::PathBuf::from("dump/job-012-failure.json")),
+            }],
             build_seconds: 0.125,
             simulate_seconds: 1.5,
             total_sim_cycles: 123456,

@@ -165,6 +165,27 @@ pub enum FrontEnd {
     StaticTaken,
 }
 
+/// Deterministic fault injection for testing the failure model.
+///
+/// These knobs wedge the machine in controlled, reproducible ways so
+/// the watchdog and the bench harness's graceful degradation can be
+/// exercised without depending on a real (and therefore fixable) bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No injected fault (the only setting for real experiments).
+    #[default]
+    None,
+    /// Refuse to commit any instruction once `after_commits` have
+    /// committed. In-flight work drains, the ROB fills, and no further
+    /// architectural progress is possible — a deterministic livelock
+    /// that trips the forward-progress watchdog exactly
+    /// `watchdog_cycles` after the last commit.
+    CommitStall {
+        /// Commit count after which the commit stage wedges.
+        after_commits: u64,
+    },
+}
+
 /// The redundancy mechanism under study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Enhancement {
@@ -214,6 +235,18 @@ pub struct CoreConfig {
     pub front_end: FrontEnd,
     /// The mechanism under study.
     pub enhancement: Enhancement,
+    /// Forward-progress watchdog: if no instruction commits for this
+    /// many cycles the run fails with a structured `Livelock`/`Deadlock`
+    /// error instead of spinning to the cycle limit. Memory latencies
+    /// are tens of cycles, so the default (one million cycles with zero
+    /// commits) can only fire on a genuine wedge.
+    pub watchdog_cycles: u64,
+    /// Opt-in per-cycle invariant checking (ROB ordering, checkpoint
+    /// stack, rename map, speculation-field sanity). Costly; meant for
+    /// debugging and differential tests, off for experiments.
+    pub paranoia: bool,
+    /// Deterministic fault injection for failure-model tests.
+    pub fault: FaultInjection,
 }
 
 impl CoreConfig {
@@ -241,6 +274,9 @@ impl CoreConfig {
             ras_depth: 16,
             front_end: FrontEnd::Gshare,
             enhancement: Enhancement::None,
+            watchdog_cycles: 1_000_000,
+            paranoia: false,
+            fault: FaultInjection::None,
         }
     }
 
@@ -286,6 +322,7 @@ impl CoreConfig {
             self.fetch_line_bytes.is_power_of_two(),
             "fetch line must be a power of two"
         );
+        assert!(self.watchdog_cycles > 0, "watchdog window must be positive");
     }
 }
 
@@ -316,6 +353,22 @@ mod tests {
                 .label(),
             "NME-NSB"
         );
+    }
+
+    #[test]
+    fn failure_model_defaults() {
+        let c = CoreConfig::table1();
+        assert_eq!(c.watchdog_cycles, 1_000_000);
+        assert!(!c.paranoia);
+        assert_eq!(c.fault, FaultInjection::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog window must be positive")]
+    fn zero_watchdog_rejected() {
+        let mut c = CoreConfig::table1();
+        c.watchdog_cycles = 0;
+        c.validate();
     }
 
     #[test]

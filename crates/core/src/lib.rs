@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod fu;
 mod pipeline;
 mod rob;
@@ -41,9 +42,10 @@ mod stats;
 mod trace;
 
 pub use config::{
-    BranchResolution, CoreConfig, Enhancement, FrontEnd, IrConfig, Reexecution, Validation,
-    VpConfig, VpKind,
+    BranchResolution, CoreConfig, Enhancement, FaultInjection, FrontEnd, IrConfig,
+    Reexecution, Validation, VpConfig, VpKind,
 };
+pub use error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 pub use fu::FuPool;
 pub use pipeline::{RunLimits, Simulator};
 pub use rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};

@@ -25,8 +25,10 @@ use vpir_predict::{LastValuePredictor, MagicPredictor, StridePredictor, ValuePre
 use vpir_reuse::{OperandView, RbInsert, RbMem, ReuseBuffer};
 
 use crate::config::{
-    BranchResolution, CoreConfig, Enhancement, FrontEnd, Reexecution, Validation, VpKind,
+    BranchResolution, CoreConfig, Enhancement, FaultInjection, FrontEnd, Reexecution,
+    Validation, VpKind,
 };
+use crate::error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 use crate::fu::FuPool;
 use crate::rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};
 use crate::spec_state::SpecState;
@@ -240,6 +242,14 @@ pub struct Simulator {
     reuse_profile: BTreeMap<u64, (u64, u64)>,
     trace: Option<TraceLog>,
 
+    // Failure model (DESIGN.md §9): forward-progress watchdog state, a
+    // fixed-capacity ring of the last retired instructions for
+    // diagnostic snapshots, and the error that stopped the last run.
+    last_commit_cycle: u64,
+    retired_ring: Vec<RetiredInst>,
+    retired_next: usize,
+    last_error: Option<SimError>,
+
     halted: bool,
     stats: SimStats,
 }
@@ -302,6 +312,10 @@ impl Simulator {
             rb,
             reuse_profile: BTreeMap::new(),
             trace: None,
+            last_commit_cycle: 0,
+            retired_ring: Vec::with_capacity(RETIRED_RING),
+            retired_next: 0,
+            last_error: None,
             halted: false,
             stats: SimStats::default(),
             now: 0,
@@ -362,15 +376,61 @@ impl Simulator {
     }
 
     /// Runs until `halt` commits or a limit is reached; returns the stats.
+    ///
+    /// Simulator failures (livelock, deadlock, invariant violations) stop
+    /// the run early; the structured error is available from
+    /// [`Simulator::error`]. Use [`Simulator::run_checked`] to receive
+    /// failures as a `Result`.
     pub fn run(&mut self, limits: RunLimits) -> &SimStats {
+        let _ = self.run_checked(limits);
+        &self.stats
+    }
+
+    /// Like [`Simulator::run`], but surfaces simulator failures as a
+    /// `Result`. Reaching a limit without halting is `Ok` — a capped run
+    /// is a normal experimental outcome, not an error.
+    pub fn run_checked(&mut self, limits: RunLimits) -> Result<&SimStats, SimError> {
+        if let Some(e) = &self.last_error {
+            // A failed machine does not recover; re-report the failure.
+            return Err(e.clone());
+        }
         while !self.halted
             && self.now < limits.max_cycles
             && self.stats.committed < limits.max_insts
         {
-            self.step_cycle();
+            if let Err(e) = self.step_cycle() {
+                self.last_error = Some(e.clone());
+                self.finalize_stats();
+                return Err(e);
+            }
         }
         self.finalize_stats();
-        &self.stats
+        Ok(&self.stats)
+    }
+
+    /// Like [`Simulator::run_checked`], but the program is required to
+    /// halt within `limits`: exhausting the budget before `halt` commits
+    /// is a [`SimError::CycleBudgetExceeded`] instead of a silent
+    /// partial run. This is the entry point for workloads with a known
+    /// endpoint (differential tests, per-job bench budgets).
+    pub fn run_to_halt(&mut self, limits: RunLimits) -> Result<&SimStats, SimError> {
+        self.run_checked(limits)?;
+        if self.halted {
+            Ok(&self.stats)
+        } else {
+            let e = SimError::CycleBudgetExceeded {
+                cycle: self.now,
+                max_cycles: limits.max_cycles,
+                committed: self.stats.committed,
+            };
+            self.last_error = Some(e.clone());
+            Err(e)
+        }
+    }
+
+    /// The structured failure that stopped the last run, if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.last_error.as_ref()
     }
 
     fn finalize_stats(&mut self) {
@@ -395,11 +455,15 @@ impl Simulator {
     }
 
     /// Advances the machine by one cycle.
-    pub fn step_cycle(&mut self) {
+    ///
+    /// Fails with a structured [`SimError`] when the forward-progress
+    /// watchdog trips, a paranoia invariant check fails, or an internal
+    /// bookkeeping contract is broken.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
         self.now += 1;
-        self.commit();
+        self.commit()?;
         if self.halted {
-            return;
+            return Ok(());
         }
         self.writeback();
         self.promote();
@@ -408,13 +472,161 @@ impl Simulator {
         self.issue();
         self.dispatch();
         self.fetch();
+        if self.config.paranoia {
+            self.check_invariants()?;
+        }
+        self.check_watchdog()
+    }
+
+    /// Captures the deterministic diagnostic snapshot embedded in
+    /// failure dumps: the last retired instructions, ROB occupancy, the
+    /// checkpoint stack, fetch state, and per-stage counters.
+    pub fn diag_snapshot(&self) -> DiagSnapshot {
+        let n = self.retired_ring.len();
+        let start = if n < RETIRED_RING { 0 } else { self.retired_next };
+        let mut last_retired = Vec::with_capacity(n);
+        for i in 0..n {
+            if let Some(r) = self.retired_ring.get((start + i) % n.max(1)) {
+                last_retired.push(*r);
+            }
+        }
+        DiagSnapshot {
+            cycle: self.now,
+            committed: self.stats.committed,
+            dispatched: self.stats.dispatched,
+            executions: self.stats.executions,
+            squashes: self.stats.squashes,
+            rob_len: self.rob.len(),
+            rob_capacity: self.rob.capacity(),
+            rob_head_seq: self.rob.front().map(|e| e.seq),
+            rob_head_pc: self.rob.front().map(|e| e.pc),
+            checkpoint_seqs: self.checkpoints.keys().copied().collect(),
+            fetch_pc: self.fetch_pc,
+            fetch_halted: self.fetch_halted,
+            fetch_queue_len: self.fetch_queue.len(),
+            last_retired,
+        }
+    }
+
+    fn internal_error(&self, what: &str) -> SimError {
+        SimError::Internal {
+            cycle: self.now,
+            what: what.to_string(),
+        }
+    }
+
+    /// Forward progress: if no instruction has retired for
+    /// `watchdog_cycles`, the machine is wedged — classify the wedge and
+    /// fail instead of spinning to the cycle limit.
+    fn check_watchdog(&mut self) -> Result<(), SimError> {
+        let idle = self.now.saturating_sub(self.last_commit_cycle);
+        if idle < self.config.watchdog_cycles {
+            return Ok(());
+        }
+        let snapshot = Box::new(self.diag_snapshot());
+        // Work still in flight (or still arriving) means instructions
+        // flow without retiring: a livelock. A fully idle machine — ROB
+        // and fetch queue empty with fetch halted — is a deadlock.
+        let in_flight =
+            !self.rob.is_empty() || !self.fetch_queue.is_empty() || !self.fetch_halted;
+        Err(if in_flight {
+            SimError::Livelock {
+                cycle: self.now,
+                watchdog_cycles: self.config.watchdog_cycles,
+                last_commit_cycle: self.last_commit_cycle,
+                snapshot,
+            }
+        } else {
+            SimError::Deadlock {
+                cycle: self.now,
+                watchdog_cycles: self.config.watchdog_cycles,
+                last_commit_cycle: self.last_commit_cycle,
+                snapshot,
+            }
+        })
+    }
+
+    fn check_invariants(&mut self) -> Result<(), SimError> {
+        if let Err(what) = self.invariant_status() {
+            let snapshot = Box::new(self.diag_snapshot());
+            return Err(SimError::InvariantViolation {
+                cycle: self.now,
+                what,
+                snapshot,
+            });
+        }
+        Ok(())
+    }
+
+    /// The paranoia-mode invariant sweep (see DESIGN.md §9): ROB
+    /// structure, checkpoint-stack consistency, rename-map targets, and
+    /// RB/VPT speculation-field sanity.
+    fn invariant_status(&self) -> Result<(), String> {
+        self.rob.check_consistency()?;
+        if self.checkpoints.len() > self.config.max_branches {
+            return Err(format!(
+                "checkpoint stack depth {} exceeds max_branches {}",
+                self.checkpoints.len(),
+                self.config.max_branches
+            ));
+        }
+        for &seq in self.checkpoints.keys() {
+            let owned = self.rob.slots_in_order().any(|s| {
+                self.rob
+                    .get(s)
+                    .is_some_and(|e| e.seq == seq && e.ctrl.is_some())
+            });
+            if !owned {
+                return Err(format!(
+                    "checkpoint for seq {seq} has no live control instruction"
+                ));
+            }
+        }
+        for slot in self.rob.slots_in_order() {
+            let Some(e) = self.rob.get(slot) else { continue };
+            if e.reused && e.reuse_source.is_none() {
+                return Err(format!(
+                    "seq {} marked reused without an RB source entry",
+                    e.seq
+                ));
+            }
+            if e.reused && e.ctrl.is_some() && e.computed_ctrl.is_none() {
+                return Err(format!(
+                    "reused control seq {} has no computed outcome",
+                    e.seq
+                ));
+            }
+            if e.reused && e.predicted.is_some() {
+                return Err(format!("seq {} is both reused and value-predicted", e.seq));
+            }
+        }
+        for (reg, m) in self.map.iter().enumerate() {
+            let Some((slot, seq)) = m else { continue };
+            if let Some(e) = self.rob.get(*slot) {
+                if e.seq == *seq && e.inst.dst.map(|d| d.index()) != Some(reg) {
+                    return Err(format!(
+                        "rename map for r{reg} points at seq {seq} which writes a \
+                         different register"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     // ----------------------------------------------------------------
     // Commit
     // ----------------------------------------------------------------
 
-    fn commit(&mut self) {
+    fn commit(&mut self) -> Result<(), SimError> {
+        // Injected commit stall: a deterministic wedge for watchdog and
+        // degradation tests. The machine keeps cycling but retires
+        // nothing, so the watchdog reports the (injected) livelock.
+        if let FaultInjection::CommitStall { after_commits } = self.config.fault {
+            if self.stats.committed >= after_commits {
+                return Ok(());
+            }
+        }
         for _ in 0..self.config.commit_width {
             let Some(head) = self.rob.front() else { break };
             if !self.can_commit(head) {
@@ -427,15 +639,20 @@ impl Simulator {
                     self.stats.port_denials += 1;
                     break;
                 }
-                let addr = head.out.addr.expect("store addr"); // vpir: allow(panic, a store that passed can_commit has executed its address computation)
+                let Some(addr) = head.out.addr else {
+                    return Err(self.internal_error(
+                        "store at commit has no architectural address",
+                    ));
+                };
                 self.dcache.access(self.now, addr, true);
             }
             let Some(e) = self.rob.pop_front() else { break };
-            self.retire(e);
+            self.retire(e)?;
             if self.halted {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
     fn can_commit(&self, e: &RobEntry) -> bool {
@@ -471,8 +688,24 @@ impl Simulator {
         }
     }
 
-    fn retire(&mut self, e: RobEntry) {
+    fn retire(&mut self, e: RobEntry) -> Result<(), SimError> {
         self.stats.committed += 1;
+        self.last_commit_cycle = self.now;
+        // Record the retirement in the diagnostic ring (fixed capacity:
+        // push until warm, then overwrite the oldest — no allocation in
+        // the steady-state cycle loop).
+        let rec = RetiredInst {
+            seq: e.seq,
+            pc: e.pc,
+            op: e.inst.op,
+            cycle: self.now,
+        };
+        if self.retired_ring.len() < RETIRED_RING {
+            self.retired_ring.push(rec);
+        } else if let Some(slot) = self.retired_ring.get_mut(self.retired_next) {
+            *slot = rec;
+        }
+        self.retired_next = (self.retired_next + 1) % RETIRED_RING;
         if let Some(t) = self.trace.as_mut() {
             t.on_commit(e.seq, self.now);
         }
@@ -499,8 +732,13 @@ impl Simulator {
         if let Some(mem) = &e.mem {
             self.stats.mem_ops += 1;
             if !mem.is_load {
+                let Some(addr) = e.out.addr else {
+                    return Err(
+                        self.internal_error("committed store has no architectural address")
+                    );
+                };
                 if let Some(rb) = self.rb.as_mut() {
-                    rb.on_store(e.out.addr.expect("store addr"), mem.width); // vpir: allow(panic, committed stores carry their architectural address)
+                    rb.on_store(addr, mem.width);
                 }
             }
         }
@@ -511,7 +749,12 @@ impl Simulator {
             match e.inst.op.class() {
                 OpClass::Branch => {
                     self.stats.branches += 1;
-                    let actual = e.out.control.expect("branch outcome").taken; // vpir: allow(panic, functional execution computes an outcome for every branch)
+                    let Some(out) = e.out.control else {
+                        return Err(
+                            self.internal_error("committed branch has no computed outcome")
+                        );
+                    };
+                    let actual = out.taken;
                     self.bp.update(e.pc, actual, ctrl.bp_token);
                     if ctrl.original_taken != actual {
                         self.stats.branch_mispredicts += 1;
@@ -520,7 +763,12 @@ impl Simulator {
                     self.stats.branch_resolution_count += 1;
                 }
                 OpClass::JumpReg => {
-                    let target = e.out.control.expect("jump target").target; // vpir: allow(panic, functional execution computes a target for every indirect jump)
+                    let Some(out) = e.out.control else {
+                        return Err(self.internal_error(
+                            "committed indirect jump has no computed target",
+                        ));
+                    };
+                    let target = out.target;
                     if e.inst.is_return() {
                         self.stats.returns += 1;
                         if ctrl.original_target != target {
@@ -553,7 +801,11 @@ impl Simulator {
         }
         if let Some(mem) = &e.mem {
             if mem.is_load {
-                let actual = e.out.addr.expect("load addr"); // vpir: allow(panic, functional execution computes an address for every load)
+                let Some(actual) = e.out.addr else {
+                    return Err(
+                        self.internal_error("committed load has no architectural address")
+                    );
+                };
                 if let Some(vp) = self.vp_addr.as_mut() {
                     vp.train(e.pc, actual);
                 }
@@ -593,6 +845,7 @@ impl Simulator {
         if e.inst.op == Op::Halt {
             self.halted = true;
         }
+        Ok(())
     }
 
     // ----------------------------------------------------------------

@@ -6,10 +6,16 @@
 //! vpir disasm <prog.s|prog.vpir>
 //! vpir limit <prog.s|prog.vpir> [--insts N]
 //! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
+//!            [--bench NAME] [--dump-dir DIR] [--resume]
+//!            [--inject-fault <bench>/<config>[:panic|:wedge]]
 //!
 //! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
 //!           and every paper configuration like vp:nme-nsb:vl1
 //! ```
+//!
+//! `bench` exits nonzero when any matrix cell fails, summarizing each
+//! failed cell; with `--dump-dir` the per-job results and failure dumps
+//! persist, and `--resume` re-executes only the missing or failed cells.
 
 use std::env;
 use std::fs;
@@ -19,11 +25,11 @@ use vpir::core::{
     BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
     VpConfig, VpKind,
 };
-use vpir::bench::matrix::MatrixConfig;
-use vpir::bench::perf::{run_matrix_timed, validate_json, REQUIRED_KEYS};
+use vpir::bench::matrix::{InjectFault, MatrixConfig, RunOptions};
+use vpir::bench::perf::{run_matrix_timed_opts, validate_json, REQUIRED_KEYS};
 use vpir::isa::{asm, image, Program};
 use vpir::redundancy::{analyze, LimitConfig};
-use vpir::workloads::Scale;
+use vpir::workloads::{Bench, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -31,7 +37,8 @@ fn usage() -> ExitCode {
          vpir asm <prog.s> -o <prog.vpir>\n  \
          vpir disasm <prog.s|prog.vpir>\n  \
          vpir limit <prog.s|prog.vpir> [--insts N]\n  \
-         vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n\n\
+         vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
+         \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n\n\
          machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
          \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
     );
@@ -213,11 +220,18 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
 }
 
 /// Runs the measured benchmark matrix and writes `BENCH_matrix.json`.
+///
+/// Fault-isolated: a failed cell degrades to a `failures` row in the
+/// report and a nonzero exit, while every other cell still produces
+/// numbers. `--dump-dir` persists per-job results incrementally so
+/// `--resume` can complete an interrupted or partially failed run.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut cfg = MatrixConfig::quick();
     let mut jobs = 0usize; // 0 = available parallelism
     let mut out_path = "BENCH_matrix.json".to_string();
     let mut compare_sequential = false;
+    let mut benches: Vec<Bench> = Bench::ALL.to_vec();
+    let mut opts = RunOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -242,22 +256,66 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 out_path = args.get(i).cloned().ok_or("--out needs a path")?;
             }
             "--compare-sequential" => compare_sequential = true,
+            "--bench" => {
+                i += 1;
+                let name = args.get(i).ok_or("--bench needs a name")?;
+                let bench = Bench::ALL
+                    .into_iter()
+                    .find(|b| b.name() == name)
+                    .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                benches = vec![bench];
+            }
+            "--dump-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().ok_or("--dump-dir needs a path")?;
+                opts.dump_dir = Some(dir.into());
+            }
+            "--resume" => opts.resume = true,
+            "--inject-fault" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--inject-fault needs <bench>/<config>")?;
+                opts.inject_fault = Some(InjectFault::parse(spec)?);
+            }
             other => return Err(format!("bench: unknown option `{other}`")),
         }
         i += 1;
     }
+    if opts.resume && opts.dump_dir.is_none() {
+        return Err("--resume requires --dump-dir".into());
+    }
 
-    let (_matrix, perf) = run_matrix_timed(cfg, jobs, compare_sequential);
+    let (outcome, perf) = run_matrix_timed_opts(&benches, cfg, jobs, compare_sequential, &opts);
     let json = perf.to_json();
     validate_json(&json, REQUIRED_KEYS)
         .map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
     fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!("{}", perf.summary());
+    if outcome.resumed_jobs > 0 {
+        println!(
+            "resumed {} of {} cells from the dump directory",
+            outcome.resumed_jobs, outcome.total_jobs
+        );
+    }
     println!("wrote {out_path}");
     if let Some((_, _, identical)) = perf.sequential {
         if !identical {
             return Err("parallel result is not bit-identical to sequential".into());
         }
+    }
+    if !outcome.failures.is_empty() {
+        for f in &outcome.failures {
+            let dump = f
+                .dump_path
+                .as_ref()
+                .map(|p| format!(" (dump: {})", p.display()))
+                .unwrap_or_default();
+            eprintln!("failed cell {}/{}: [{}] {}{}", f.bench, f.config, f.kind, f.error, dump);
+        }
+        return Err(format!(
+            "{} of {} matrix cells failed",
+            outcome.failures.len(),
+            outcome.total_jobs
+        ));
     }
     Ok(())
 }

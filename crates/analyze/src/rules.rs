@@ -2,11 +2,11 @@
 //!
 //! | id | name        | scope                                   |
 //! |----|-------------|-----------------------------------------|
-//! | R1 | determinism | cycle-level crates                      |
-//! | R2 | panic       | cycle-level crates + `isa/src/asm.rs`   |
-//! | R3 | stats       | `*Stats` structs in core + stats crates |
-//! | R4 | config      | `crates/core/src/config.rs` fields      |
-//! | R5 | counter     | same structs as R3                      |
+//! | R1 | determinism | cycle-level crates                              |
+//! | R2 | panic       | cycle-level crates + `isa/src/asm.rs` + `serve` |
+//! | R3 | stats       | `*Stats` structs in core + stats crates         |
+//! | R4 | config      | `crates/core/src/config.rs` fields              |
+//! | R5 | counter     | same structs as R3                              |
 //!
 //! Cycle-level crates are the ones whose state evolves per simulated
 //! cycle: `core`, `reuse`, `predict`, `branch`, `mem`. Iteration order
@@ -37,7 +37,12 @@ fn in_cycle_crate(path: &str) -> bool {
 }
 
 fn in_panic_scope(path: &str) -> bool {
-    in_cycle_crate(path) || path == "crates/isa/src/asm.rs"
+    // The service crate handles hostile byte streams on its request
+    // path: a panic there takes down a connection or worker thread, so
+    // it gets the same panic-freedom discipline as the cycle crates.
+    in_cycle_crate(path)
+        || path == "crates/isa/src/asm.rs"
+        || path.starts_with("crates/serve/src/")
 }
 
 /// Runs every rule over the scanned files.
@@ -507,6 +512,17 @@ mod tests {
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].line, 2);
         assert_eq!(findings.iter().filter(|f| f.suppressed.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn r2_covers_the_serve_crate_request_path() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let flagged = run_all(&[file("crates/serve/src/http.rs", src)]);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rule, Rule::Panic);
+        // The service's integration tests are outside src/ and exempt.
+        let exempt = run_all(&[file("crates/serve/tests/http.rs", src)]);
+        assert!(exempt.is_empty());
     }
 
     #[test]

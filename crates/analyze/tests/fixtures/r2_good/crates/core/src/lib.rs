@@ -45,6 +45,30 @@ pub fn isolated<T>(job: impl FnOnce() -> T) -> Result<T, String> {
     }
 }
 
+/// The connection-handler error-boundary idiom from the serve crate: a
+/// hostile byte stream maps to a structured status instead of a panic,
+/// and shared state uses the poison-safe lock recovery. Every fallible
+/// step flows through `?`/`map_err`, so the whole path is R2-clean with
+/// no allow at all.
+pub struct Handler {
+    seen: std::sync::Mutex<u64>,
+}
+
+impl Handler {
+    pub fn handle(&self, head: &str) -> Result<u64, (u16, String)> {
+        let mut parts = head.split(' ');
+        let method = parts.next().filter(|m| !m.is_empty()).ok_or_else(|| {
+            (400, "empty request line".to_string())
+        })?;
+        if method != "GET" {
+            return Err((405, format!("method {method} not allowed")));
+        }
+        let mut seen = self.seen.lock().unwrap_or_else(|e| e.into_inner());
+        *seen += 1;
+        Ok(*seen)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -53,5 +77,8 @@ mod tests {
         assert_eq!(xs[0], 1);
         assert_eq!(super::head(&xs, Some(3)).unwrap(), 3);
         assert!(super::isolated(|| panic!("boom")).is_err());
+        let h = super::Handler { seen: std::sync::Mutex::new(0) };
+        assert_eq!(h.handle("GET / HTTP/1.1").unwrap(), 1);
+        assert_eq!(h.handle("EAT / HTTP/1.1").unwrap_err().0, 405);
     }
 }

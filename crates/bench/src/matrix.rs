@@ -249,6 +249,56 @@ fn job_label(kind: JobKind) -> String {
     }
 }
 
+/// Every configuration label a matrix job can carry, in job order
+/// (`base`, the sixteen VP labels, `ir_early`, `ir_late`, `limit`).
+/// This is the vocabulary of `--inject-fault <bench>/<config>` targets
+/// and of the `config` field in `vpir serve` run requests.
+pub fn config_labels() -> Vec<String> {
+    job_kinds().into_iter().map(job_label).collect()
+}
+
+/// Parses a full VP label of the form `kind:RE-BR:vlN` (the inverse of
+/// [`vp_label`]).
+pub fn parse_vp_label(label: &str) -> Option<VpKey> {
+    let (kind, rest) = label.split_once(':')?;
+    let (policies, vl) = rest.split_once(':')?;
+    let (re, br) = policies.split_once('-')?;
+    let kind = match kind {
+        "magic" => VpKind::Magic,
+        "lvp" => VpKind::Lvp,
+        "stride" => VpKind::Stride,
+        _ => return None,
+    };
+    let re = match re {
+        "ME" => Reexecution::Me,
+        "NME" => Reexecution::Nme,
+        _ => return None,
+    };
+    let br = match br {
+        "SB" => BranchResolution::Sb,
+        "NSB" => BranchResolution::Nsb,
+        _ => return None,
+    };
+    let vl: u32 = vl.strip_prefix("vl")?.parse().ok()?;
+    Some((kind, re, br, vl))
+}
+
+/// The simulator configuration behind a matrix label: the inverse of
+/// [`job_label`](config_labels) for every cycle-level cell. `limit` has
+/// no machine configuration (it is the functional limit study), and an
+/// unknown label returns `None`.
+pub fn config_for_label(label: &str) -> Option<CoreConfig> {
+    match label {
+        "base" => Some(CoreConfig::table1()),
+        "ir_early" => Some(CoreConfig::with_ir(IrConfig::table1())),
+        "ir_late" => Some(CoreConfig::with_ir(IrConfig {
+            validation: Validation::Late,
+            ..IrConfig::table1()
+        })),
+        _ => parse_vp_label(label).map(|key| CoreConfig::with_vp(vp_config(key))),
+    }
+}
+
 /// Runs one job. Each job constructs its own simulator over a shared,
 /// immutable program, so results are independent of scheduling.
 fn run_job(prog: &Program, cfg: MatrixConfig, kind: JobKind) -> JobOut {
@@ -761,6 +811,32 @@ mod tests {
         let labels: std::collections::BTreeSet<String> =
             keys.iter().map(|&k| vp_label(k)).collect();
         assert_eq!(labels.len(), 16, "labels alone must be distinct");
+    }
+
+    #[test]
+    fn every_config_label_round_trips_to_its_configuration() {
+        for kind in job_kinds() {
+            let label = job_label(kind);
+            let cfg = config_for_label(&label);
+            match kind {
+                JobKind::Limit => assert!(
+                    cfg.is_none(),
+                    "`limit` is the functional study, not a machine config"
+                ),
+                JobKind::Base => assert_eq!(cfg, Some(CoreConfig::table1())),
+                JobKind::Vp(key) => {
+                    assert_eq!(parse_vp_label(&label), Some(key));
+                    assert_eq!(cfg, Some(CoreConfig::with_vp(vp_config(key))));
+                }
+                JobKind::IrEarly | JobKind::IrLate => {
+                    assert!(cfg.is_some(), "IR labels must resolve: {label}");
+                }
+            }
+        }
+        assert_eq!(config_labels().len(), job_kinds().len());
+        for bad in ["", "basex", "magic:ME-SB", "magic:XX-SB:vl1", "vl1"] {
+            assert!(config_for_label(bad).is_none(), "accepted `{bad}`");
+        }
     }
 
     #[test]

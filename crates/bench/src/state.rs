@@ -8,17 +8,21 @@
 //! `u64`, the round trip through JSON is lossless and a resumed matrix
 //! is bit-identical to an uninterrupted run.
 //!
-//! Everything here is std-only: a small hand-rolled emitter and a
-//! recursive-descent parser for the subset of JSON the job files use
-//! (objects, arrays, strings, unsigned integers, `true`/`false`/`null`).
+//! Everything here is std-only: the emitter and the exact-`u64`
+//! recursive-descent parser live in the shared `vpir-jsonlite` crate
+//! (they started life in this module) and are re-exported below so
+//! existing `vpir_bench::state::{parse_json, ...}` imports keep working.
 
 use std::path::{Path, PathBuf};
 
 use vpir_core::SimStats;
+use vpir_jsonlite::JsonObj as Obj;
 use vpir_mem::CacheStats;
 use vpir_predict::VptStats;
 use vpir_redundancy::LimitStudy;
 use vpir_reuse::ReuseStats;
+
+pub use vpir_jsonlite::{json_escape, parse_json, JsonValue};
 
 /// Schema tag stamped into every per-job result file.
 pub const JOB_SCHEMA: &str = "vpir-bench-job-v2";
@@ -27,341 +31,8 @@ pub const JOB_SCHEMA: &str = "vpir-bench-job-v2";
 pub const FAILURE_SCHEMA: &str = "vpir-bench-failure-v2";
 
 // ---------------------------------------------------------------------
-// JSON values
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value restricted to what job files contain.
-///
-/// Numbers are unsigned integers only — every simulator counter is a
-/// `u64`, and refusing floats is what makes the resume path exact.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer (the only number form job files use).
-    U64(u64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<JsonValue>),
-    /// An object, in source order.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Looks up a key in an object; `None` for other variants.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
-            _ => None,
-        }
-    }
-
-    /// The contained integer, if this is a number.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            JsonValue::U64(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The contained string, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The contained elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[JsonValue]> {
-        match self {
-            JsonValue::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a JSON document into a [`JsonValue`].
-///
-/// Rejects fractions, exponents, and negative numbers: job files only
-/// ever hold `u64` counters, and anything else indicates corruption.
-pub fn parse_json(text: &str) -> Result<JsonValue, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    depth: u32,
-}
-
-const MAX_DEPTH: u32 = 128;
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return Err("nesting too deep".to_string());
-        }
-        let v = match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => self.string().map(JsonValue::Str),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(b'0'..=b'9') => self.number(),
-            Some(b) => Err(format!(
-                "unexpected byte `{}` at {} (negative and fractional \
-                 numbers are not valid in job files)",
-                b as char, self.pos
-            )),
-            None => Err("unexpected end of input".to_string()),
-        }?;
-        self.depth -= 1;
-        Ok(v)
-    }
-
-    fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Obj(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Arr(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape")?;
-                            out.push(
-                                char::from_u32(code).ok_or("invalid \\u code point")?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(b) if b < 0x20 => {
-                    return Err(format!("raw control byte in string at {}", self.pos))
-                }
-                Some(_) => {
-                    // Copy one UTF-8 scalar (input is a &str, so this is safe
-                    // to do bytewise until the next ASCII delimiter).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self
-                        .bytes
-                        .get(self.pos)
-                        .is_some_and(|&b| b & 0xc0 == 0x80)
-                    {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|_| "invalid UTF-8 in string")?,
-                    );
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, String> {
-        let mut n: u64 = 0;
-        let start = self.pos;
-        while let Some(b @ b'0'..=b'9') = self.peek() {
-            n = n
-                .checked_mul(10)
-                .and_then(|n| n.checked_add(u64::from(b - b'0')))
-                .ok_or_else(|| format!("integer overflow at byte {start}"))?;
-            self.pos += 1;
-        }
-        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
-            return Err(format!(
-                "non-integer number at byte {start}: job files hold exact \
-                 u64 counters only"
-            ));
-        }
-        Ok(JsonValue::U64(n))
-    }
-}
-
-// ---------------------------------------------------------------------
 // JSON emission
 // ---------------------------------------------------------------------
-
-/// Escapes a string for embedding in a JSON document (no quotes added).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Builds a single JSON object; keys are emitted in call order.
-struct Obj {
-    out: String,
-}
-
-impl Obj {
-    fn new() -> Obj {
-        Obj { out: String::from("{") }
-    }
-
-    fn key(&mut self, k: &str) {
-        if self.out.len() > 1 {
-            self.out.push_str(", ");
-        }
-        self.out.push('"');
-        self.out.push_str(k);
-        self.out.push_str("\": ");
-    }
-
-    fn u(mut self, k: &str, v: u64) -> Obj {
-        self.key(k);
-        self.out.push_str(&v.to_string());
-        self
-    }
-
-    /// Embeds pre-rendered JSON verbatim.
-    fn raw(mut self, k: &str, v: &str) -> Obj {
-        self.key(k);
-        self.out.push_str(v);
-        self
-    }
-
-    fn finish(mut self) -> String {
-        self.out.push('}');
-        self.out
-    }
-}
 
 fn cache_to_json(c: &CacheStats) -> String {
     Obj::new()
@@ -795,27 +466,6 @@ mod tests {
         };
         let back = JobRecord::from_json(&rec.to_json()).expect("decode");
         assert_eq!(back, rec);
-    }
-
-    #[test]
-    fn parser_rejects_what_job_files_never_contain() {
-        assert!(parse_json("1.5").is_err(), "fractions");
-        assert!(parse_json("-3").is_err(), "negative numbers");
-        assert!(parse_json("1e9").is_err(), "exponents");
-        assert!(parse_json("{\"a\": 1,}").is_err(), "trailing comma");
-        assert!(parse_json("{\"a\": 1} extra").is_err(), "trailing data");
-        assert!(parse_json("\"unterminated").is_err(), "open string");
-        assert!(parse_json("18446744073709551616").is_err(), "u64 overflow");
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_nesting() {
-        let v = parse_json(r#"{"msg": "a\"b\\c\ndA", "arr": [1, [2, {"x": true}], null]}"#)
-            .expect("parse");
-        assert_eq!(v.get("msg").and_then(JsonValue::as_str), Some("a\"b\\c\ndA"));
-        let arr = v.get("arr").and_then(JsonValue::as_arr).expect("arr");
-        assert_eq!(arr[0].as_u64(), Some(1));
-        assert_eq!(arr[2], JsonValue::Null);
     }
 
     #[test]

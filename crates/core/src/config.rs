@@ -203,7 +203,7 @@ pub enum Enhancement {
 }
 
 /// Full machine configuration (Table 1 defaults).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,
@@ -247,6 +247,12 @@ pub struct CoreConfig {
     pub paranoia: bool,
     /// Deterministic fault injection for failure-model tests.
     pub fault: FaultInjection,
+    /// Per-instruction trace capacity: with a non-zero value the
+    /// simulator records the first N committed/squashed instructions in
+    /// a `TraceLog` from cycle zero (equivalent to calling
+    /// `Simulator::enable_trace` before the first step). Zero — the
+    /// default — collects nothing and costs nothing.
+    pub trace_capacity: usize,
 }
 
 impl CoreConfig {
@@ -277,6 +283,7 @@ impl CoreConfig {
             watchdog_cycles: 1_000_000,
             paranoia: false,
             fault: FaultInjection::None,
+            trace_capacity: 0,
         }
     }
 

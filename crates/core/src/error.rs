@@ -132,21 +132,12 @@ fn json_opt(v: Option<u64>) -> String {
     }
 }
 
-/// Escapes and quotes a string for JSON.
+/// Escapes and quotes a string for JSON (escaping itself is the shared
+/// `vpir-jsonlite` implementation).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
+    out.push_str(&vpir_jsonlite::json_escape(s));
     out.push('"');
     out
 }

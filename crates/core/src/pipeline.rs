@@ -311,7 +311,8 @@ impl Simulator {
             vp_addr,
             rb,
             reuse_profile: BTreeMap::new(),
-            trace: None,
+            trace: (config.trace_capacity > 0)
+                .then(|| TraceLog::new(config.trace_capacity)),
             last_commit_cycle: 0,
             retired_ring: Vec::with_capacity(RETIRED_RING),
             retired_next: 0,

@@ -1,0 +1,288 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::io`.
+//!
+//! The parser accepts the small slice of HTTP that `vpir serve` speaks
+//! (one request per connection, `Connection: close` responses) and maps
+//! every malformed input to a structured [`HttpError`] instead of a
+//! panic — this module is inside the workspace's R2 panic-freedom gate,
+//! so a hostile byte stream must never take a worker down.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line + headers (16 KiB is far beyond any
+/// legitimate request this service sees).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path (query strings are not used by this API).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request that could not be served, with the HTTP status to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (400, 404, 405, 411, 413, 500, 503).
+    pub status: u16,
+    /// Human-readable detail, emitted in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error with the given status and detail message.
+    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError { status, message: message.into() }
+    }
+}
+
+/// The standard reason phrase for the statuses this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Parses the head (request line + headers) of a request.
+///
+/// Split out from the socket reader so the malformed-request table
+/// tests can drive it directly on byte strings.
+pub fn parse_head(text: &str) -> Result<(String, String, Vec<(String, String)>), HttpError> {
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line `{request_line}`"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(400, format!("unsupported version `{version}`")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::new(400, format!("bad request target `{path}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+/// Reads one full request from `stream`.
+///
+/// Bodies are accepted only with an explicit `Content-Length`; a POST
+/// without one is `411`, and a declared length over `max_body` is `413`
+/// (rejected before any body byte is read, so an oversized upload
+/// cannot occupy memory).
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(400, "request head too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "truncated request (connection closed mid-head)"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head_text = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let (method, path, headers) = parse_head(head_text)?;
+
+    let declared_len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad Content-Length `{v}`")))
+        })
+        .transpose()?;
+
+    let body_len = match (method.as_str(), declared_len) {
+        ("POST", None) => return Err(HttpError::new(411, "POST requires Content-Length")),
+        ("POST", Some(n)) => n,
+        (_, Some(n)) if n > 0 => {
+            return Err(HttpError::new(400, format!("unexpected body on {method}")))
+        }
+        _ => 0,
+    };
+    if body_len > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {body_len} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+
+    let mut body: Vec<u8> = buf.split_off(head_end + 4);
+    while body.len() < body_len {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read error: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "truncated request (connection closed mid-body)"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(body_len);
+    Ok(Request { method, path, headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a full response (status line, headers, body) and flushes.
+///
+/// Every response carries `Connection: close`; the service speaks one
+/// request per connection by design.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor, max_body)
+    }
+
+    #[test]
+    fn parses_a_full_post() {
+        let r = req(
+            b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/run");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("Content-Length"), Some("4"));
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn malformed_requests_map_to_the_right_status() {
+        // (raw bytes, expected status, case)
+        let table: &[(&[u8], u16, &str)] = &[
+            (b"GET\r\n\r\n", 400, "truncated request line"),
+            (b"GET /x\r\n\r\n", 400, "missing version"),
+            (b"GET /x HTTP/2.0\r\n\r\n", 400, "unsupported version"),
+            (b"GET x HTTP/1.1\r\n\r\n", 400, "target without leading slash"),
+            (b"POST /v1/run HTTP/1.1\r\n\r\n", 411, "POST without Content-Length"),
+            (
+                b"POST /v1/run HTTP/1.1\r\nContent-Length: zap\r\n\r\n",
+                400,
+                "unparseable Content-Length",
+            ),
+            (
+                b"POST /v1/run HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+                413,
+                "declared body over the limit",
+            ),
+            (
+                b"GET /healthz HTTP/1.1\r\nNoColonHere\r\n\r\n",
+                400,
+                "malformed header line",
+            ),
+            (b"POST /v1/run HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc", 400, "body cut short"),
+        ];
+        for (bytes, want, case) in table {
+            let got = req(bytes, 1024);
+            assert_eq!(
+                got.as_ref().err().map(|e| e.status),
+                Some(*want),
+                "{case}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_larger_than_the_cap_is_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 8));
+        assert_eq!(req(&raw, 1024).err().map(|e| e.status), Some(400));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, "application/json", &[("Retry-After", "1".to_string())], b"{}")
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(
+            text,
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+             Content-Length: 2\r\nConnection: close\r\nRetry-After: 1\r\n\r\n{}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! The service's metrics registry: plain `AtomicU64` counters and
+//! gauges rendered in the Prometheus text exposition format.
+//!
+//! No labels, no histograms — every series is a named scalar, emitted
+//! in a fixed order so two scrapes of the same state are byte-identical
+//! (the same determinism discipline the simulator itself follows).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// All counters and gauges the service exposes on `GET /metrics`.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Requests accepted by the HTTP layer (malformed ones included).
+    pub requests_total: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Responses with a 5xx status other than 503.
+    pub responses_server_error: AtomicU64,
+    /// 503 responses (queue full, draining, or connection cap).
+    pub responses_rejected: AtomicU64,
+    /// Run/matrix requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Run/matrix requests that had to simulate.
+    pub cache_misses: AtomicU64,
+    /// Entries currently held by the result cache (gauge).
+    pub cache_entries: AtomicU64,
+    /// Jobs waiting in the bounded queue (gauge).
+    pub queue_depth: AtomicU64,
+    /// Jobs currently executing on a worker (gauge).
+    pub in_flight_jobs: AtomicU64,
+    /// Simulations that ran to completion (halt or cycle cap).
+    pub runs_completed: AtomicU64,
+    /// Simulations that ended in a structured `SimError`.
+    pub runs_sim_error: AtomicU64,
+    /// Jobs whose execution panicked (contained by the worker).
+    pub runs_panicked: AtomicU64,
+    /// Matrix cells that degraded to failure rows.
+    pub matrix_cells_failed: AtomicU64,
+    /// Cumulative simulated cycles across all jobs.
+    pub sim_cycles_total: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry whose uptime clock starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            responses_rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            in_flight_jobs: AtomicU64::new(0),
+            runs_completed: AtomicU64::new(0),
+            runs_sim_error: AtomicU64::new(0),
+            runs_panicked: AtomicU64::new(0),
+            matrix_cells_failed: AtomicU64::new(0),
+            sim_cycles_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Buckets a response status into the right outcome counter.
+    pub fn observe_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            503 => &self.responses_rejected,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let uptime = self.start.elapsed().as_secs_f64();
+        let cycles = self.sim_cycles_total.load(Ordering::Relaxed);
+        let cycles_per_sec = if uptime > 0.0 { cycles as f64 / uptime } else { 0.0 };
+        let mut out = String::with_capacity(2048);
+        let series: &[(&str, &str, &str, u64)] = &[
+            ("vpir_requests_total", "counter", "Requests accepted by the HTTP layer.", self.requests_total.load(Ordering::Relaxed)),
+            ("vpir_responses_ok_total", "counter", "Responses with a 2xx status.", self.responses_ok.load(Ordering::Relaxed)),
+            ("vpir_responses_client_error_total", "counter", "Responses with a 4xx status.", self.responses_client_error.load(Ordering::Relaxed)),
+            ("vpir_responses_server_error_total", "counter", "Responses with a 5xx status other than 503.", self.responses_server_error.load(Ordering::Relaxed)),
+            ("vpir_responses_rejected_total", "counter", "503 responses (backpressure or draining).", self.responses_rejected.load(Ordering::Relaxed)),
+            ("vpir_cache_hits_total", "counter", "Requests answered from the result cache.", self.cache_hits.load(Ordering::Relaxed)),
+            ("vpir_cache_misses_total", "counter", "Requests that had to simulate.", self.cache_misses.load(Ordering::Relaxed)),
+            ("vpir_cache_entries", "gauge", "Entries held by the result cache.", self.cache_entries.load(Ordering::Relaxed)),
+            ("vpir_queue_depth", "gauge", "Jobs waiting in the bounded queue.", self.queue_depth.load(Ordering::Relaxed)),
+            ("vpir_in_flight_jobs", "gauge", "Jobs currently executing on a worker.", self.in_flight_jobs.load(Ordering::Relaxed)),
+            ("vpir_runs_completed_total", "counter", "Simulations that ran to completion.", self.runs_completed.load(Ordering::Relaxed)),
+            ("vpir_runs_sim_error_total", "counter", "Simulations that ended in a structured SimError.", self.runs_sim_error.load(Ordering::Relaxed)),
+            ("vpir_runs_panicked_total", "counter", "Jobs whose execution panicked (contained).", self.runs_panicked.load(Ordering::Relaxed)),
+            ("vpir_matrix_cells_failed_total", "counter", "Matrix cells that degraded to failure rows.", self.matrix_cells_failed.load(Ordering::Relaxed)),
+            ("vpir_sim_cycles_total", "counter", "Cumulative simulated cycles across all jobs.", cycles),
+        ];
+        for (name, kind, help, value) in series {
+            push_series(&mut out, name, kind, help, &value.to_string());
+        }
+        push_series(
+            &mut out,
+            "vpir_sim_cycles_per_second",
+            "gauge",
+            "Simulated cycles per wall-clock second since start.",
+            &format!("{cycles_per_sec:.3}"),
+        );
+        push_series(
+            &mut out,
+            "vpir_uptime_seconds",
+            "gauge",
+            "Seconds since the service started.",
+            &format!("{uptime:.3}"),
+        );
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+fn push_series(out: &mut String, name: &str, kind: &str, help: &str, value: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_lists_every_series_with_help_and_type() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.observe_status(200);
+        m.observe_status(404);
+        m.observe_status(503);
+        m.observe_status(500);
+        let text = m.render();
+        assert!(text.contains("vpir_requests_total 3"), "{text}");
+        assert!(text.contains("vpir_cache_hits_total 1"), "{text}");
+        assert!(text.contains("vpir_responses_ok_total 1"), "{text}");
+        assert!(text.contains("vpir_responses_client_error_total 1"), "{text}");
+        assert!(text.contains("vpir_responses_rejected_total 1"), "{text}");
+        assert!(text.contains("vpir_responses_server_error_total 1"), "{text}");
+        assert!(text.contains("# TYPE vpir_queue_depth gauge"), "{text}");
+        assert!(text.contains("# HELP vpir_sim_cycles_per_second "), "{text}");
+        // One HELP and one TYPE line per series, every series present.
+        assert_eq!(text.matches("# HELP ").count(), 17);
+        assert_eq!(text.matches("# TYPE ").count(), 17);
+    }
+}

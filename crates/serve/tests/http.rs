@@ -1,0 +1,202 @@
+//! End-to-end socket tests for `vpir serve`: real TCP connections
+//! against a live [`Server`] on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use vpir_serve::{ServeConfig, Server};
+
+/// One HTTP exchange over a fresh connection: returns the status code,
+/// the raw header block, and the body.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    stream.write_all(raw).expect("write");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8(response).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    exchange(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+}
+
+fn shutdown(addr: SocketAddr) {
+    let (status, _, _) = post(addr, "/v1/shutdown", "{}");
+    assert_eq!(status, 200, "shutdown must be acknowledged");
+}
+
+fn small_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        default_max_cycles: 100_000,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn run_roundtrip_cache_hit_metrics_and_graceful_shutdown() {
+    let server = Server::start(small_config(2)).expect("start");
+    let addr = server.addr();
+
+    let (status, _, health) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health, "{\"ok\": true, \"draining\": false}");
+
+    let request = "{\"bench\": \"compress\", \"max_cycles\": 50000}";
+    let (status, miss_head, miss_body) = post(addr, "/v1/run", request);
+    assert_eq!(status, 200, "miss body: {miss_body}");
+    assert!(miss_head.contains("X-Cache: miss"), "{miss_head}");
+    assert!(miss_body.contains("\"schema\": \"vpir-serve-run-v1\""), "{miss_body}");
+
+    let (status, hit_head, hit_body) = post(addr, "/v1/run", request);
+    assert_eq!(status, 200);
+    assert!(hit_head.contains("X-Cache: hit"), "{hit_head}");
+    assert_eq!(miss_body, hit_body, "cache hit must be byte-identical to the miss");
+
+    let (status, head, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: text/plain; version=0.0.4"), "{head}");
+    assert!(metrics.contains("vpir_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("vpir_cache_misses_total 1"), "{metrics}");
+    assert!(metrics.contains("vpir_runs_completed_total 1"), "{metrics}");
+    assert!(metrics.contains("# TYPE vpir_sim_cycles_total counter"), "{metrics}");
+
+    shutdown(addr);
+    server.join();
+    // After shutdown the listener is gone: connecting must fail (or be
+    // reset before a response arrives).
+    assert!(TcpStream::connect(addr).is_err() || get_refused(addr));
+}
+
+fn get_refused(addr: SocketAddr) -> bool {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => return true,
+    };
+    let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    match stream.read_to_end(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(_) => true,
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_a_single_byte() {
+    let server1 = Server::start(small_config(1)).expect("start workers=1");
+    let server4 = Server::start(small_config(4)).expect("start workers=4");
+
+    // A mixed bag: different configs, programs, and a trace request.
+    let requests = [
+        "{\"bench\": \"compress\", \"max_cycles\": 40000}".to_string(),
+        "{\"bench\": \"compress\", \"config\": \"ir_early\", \"max_cycles\": 40000}".to_string(),
+        "{\"bench\": \"compress\", \"config\": \"magic:ME-SB:vl1\", \"max_cycles\": 40000}"
+            .to_string(),
+        "{\"asm\": \"li r1, 3\\naddi r1, r1, 4\\nhalt\", \"trace\": 16}".to_string(),
+    ];
+    for request in &requests {
+        let (s1, _, body1) = post(server1.addr(), "/v1/run", request);
+        let (s4, _, body4) = post(server4.addr(), "/v1/run", request);
+        assert_eq!(s1, 200, "{request}: {body1}");
+        assert_eq!(s4, 200, "{request}: {body4}");
+        assert_eq!(body1, body4, "workers=1 and workers=4 must agree on {request}");
+    }
+
+    shutdown(server1.addr());
+    shutdown(server4.addr());
+    server1.join();
+    server4.join();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_over_the_wire() {
+    let server = Server::start(small_config(1)).expect("start");
+    let addr = server.addr();
+
+    let (status, _, body) = get(addr, "/nope");
+    assert_eq!(status, 404, "{body}");
+
+    let (status, head, _) = exchange(addr, b"DELETE /v1/run HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: POST"), "{head}");
+
+    let (status, _, body) = post(addr, "/v1/run", "{not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("bad JSON"), "{body}");
+
+    let (status, _, _) = exchange(addr, b"POST /v1/run HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 411);
+
+    let (status, _, body) = exchange(
+        addr,
+        b"POST /v1/run HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status, 413, "{body}");
+
+    shutdown(addr);
+    server.join();
+}
+
+#[test]
+fn a_full_queue_answers_503_with_retry_after() {
+    // Zero workers (API-only configuration): nothing drains the queue,
+    // so backpressure is deterministic.
+    let cfg = ServeConfig {
+        workers: 0,
+        queue_capacity: 1,
+        job_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+
+    // The first miss occupies the single queue slot; its connection
+    // blocks waiting for a worker that never comes, so issue it from a
+    // helper thread.
+    let blocked = std::thread::spawn(move || {
+        post(addr, "/v1/run", "{\"bench\": \"go\", \"max_cycles\": 30000}")
+    });
+    // Wait until the job is actually queued.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, metrics) = get(addr, "/metrics");
+        if metrics.contains("vpir_queue_depth 1") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never queued:\n{metrics}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (status, head, body) =
+        post(addr, "/v1/run", "{\"bench\": \"perl\", \"max_cycles\": 30000}");
+    assert_eq!(status, 503, "{body}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+
+    shutdown(addr);
+    server.join();
+    // join() dropped the never-run job, hanging up the blocked
+    // handler's channel: the first request resolves as a 500.
+    let (status, _, body) = blocked.join().expect("blocked client");
+    assert_eq!(status, 500, "{body}");
+}

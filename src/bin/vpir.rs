@@ -8,6 +8,7 @@
 //! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
 //!            [--bench NAME] [--dump-dir DIR] [--resume]
 //!            [--inject-fault <bench>/<config>[:panic|:wedge]]
+//! vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!
 //! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
 //!           and every paper configuration like vp:nme-nsb:vl1
@@ -16,6 +17,9 @@
 //! `bench` exits nonzero when any matrix cell fails, summarizing each
 //! failed cell; with `--dump-dir` the per-job results and failure dumps
 //! persist, and `--resume` re-executes only the missing or failed cells.
+//!
+//! `serve` prints the bound address on stdout (so scripts can discover
+//! an ephemeral port) and runs until `POST /v1/shutdown` arrives.
 
 use std::env;
 use std::fs;
@@ -25,10 +29,11 @@ use vpir::core::{
     BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
     VpConfig, VpKind,
 };
-use vpir::bench::matrix::{InjectFault, MatrixConfig, RunOptions};
+use vpir::bench::matrix::{config_labels, InjectFault, MatrixConfig, RunOptions};
 use vpir::bench::perf::{run_matrix_timed_opts, validate_json, REQUIRED_KEYS};
 use vpir::isa::{asm, image, Program};
 use vpir::redundancy::{analyze, LimitConfig};
+use vpir::serve::{ServeConfig, Server};
 use vpir::workloads::{Bench, Scale};
 
 fn usage() -> ExitCode {
@@ -38,7 +43,8 @@ fn usage() -> ExitCode {
          vpir disasm <prog.s|prog.vpir>\n  \
          vpir limit <prog.s|prog.vpir> [--insts N]\n  \
          vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
-         \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n\n\
+         \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n  \
+         vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\n\
          machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
          \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
     );
@@ -121,6 +127,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args[1..]),
         "limit" => cmd_limit(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -172,11 +179,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         print!("{}", program.disassemble());
         println!();
     }
-    let config = parse_machine(&machine)?;
+    let mut config = parse_machine(&machine)?;
+    config.trace_capacity = trace;
     let mut sim = Simulator::new(&program, config);
-    if trace > 0 {
-        sim.enable_trace(trace);
-    }
     sim.run(RunLimits::cycles(cycles));
     if !sim.halted() {
         eprintln!("(cycle limit reached before halt)");
@@ -274,7 +279,30 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--inject-fault" => {
                 i += 1;
                 let spec = args.get(i).ok_or("--inject-fault needs <bench>/<config>")?;
-                opts.inject_fault = Some(InjectFault::parse(spec)?);
+                let fault = InjectFault::parse(spec)?;
+                // A target naming an unknown benchmark or configuration
+                // would silently match no cell (the matrix would run
+                // clean and the injection would be a no-op) — reject it
+                // up front, listing the valid vocabulary.
+                if !Bench::ALL.iter().any(|b| b.name() == fault.bench) {
+                    return Err(format!(
+                        "--inject-fault: unknown benchmark `{}`; valid benchmarks: {}",
+                        fault.bench,
+                        Bench::ALL
+                            .iter()
+                            .map(|b| b.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                if !config_labels().iter().any(|l| *l == fault.config) {
+                    return Err(format!(
+                        "--inject-fault: unknown config `{}`; valid configs: {}",
+                        fault.config,
+                        config_labels().join(", ")
+                    ));
+                }
+                opts.inject_fault = Some(fault);
             }
             other => return Err(format!("bench: unknown option `{other}`")),
         }
@@ -317,6 +345,60 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             outcome.total_jobs
         ));
     }
+    Ok(())
+}
+
+/// Starts the HTTP simulation service and blocks until it shuts down.
+///
+/// The bound address is printed on stdout first — with `--addr` port 0
+/// the OS picks an ephemeral port, and scripts (CI included) read the
+/// line to discover it. Shutdown arrives as `POST /v1/shutdown`; the
+/// workspace forbids `unsafe`, so there is no signal handler to catch
+/// SIGTERM — the admin endpoint is the graceful path.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().ok_or("--addr needs host:port")?;
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a number")?;
+            }
+            "--queue" => {
+                i += 1;
+                cfg.queue_capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--queue needs a number")?;
+            }
+            "--cache" => {
+                i += 1;
+                cfg.cache_capacity = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache needs a number")?;
+            }
+            other => return Err(format!("serve: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.workers == 0 {
+        return Err("serve: --workers must be at least 1".into());
+    }
+    if cfg.queue_capacity == 0 {
+        return Err("serve: --queue must be at least 1".into());
+    }
+    let server = Server::start(cfg).map_err(|e| format!("serve: bind failed: {e}"))?;
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("shutdown complete");
     Ok(())
 }
 

@@ -17,6 +17,8 @@
 //! * [`workloads`] — the seven synthetic benchmarks
 //! * [`redundancy`] — the Section 4.3 limit study
 //! * [`stats`] — means and table rendering for the experiment harness
+//! * [`serve`] — the std-only HTTP simulation service (`vpir serve`)
+//! * [`jsonlite`] — the shared dependency-free JSON toolkit
 //!
 //! # Examples
 //!
@@ -35,6 +37,8 @@
 
 pub use vpir_bench as bench;
 pub use vpir_branch as branch;
+pub use vpir_jsonlite as jsonlite;
+pub use vpir_serve as serve;
 pub use vpir_core as core;
 pub use vpir_isa as isa;
 pub use vpir_mem as mem;

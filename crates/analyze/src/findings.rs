@@ -2,7 +2,12 @@
 
 use std::fmt::Write as _;
 
-/// The five simulator invariants the analyzer checks.
+/// The simulator invariants (R1–R6, host Rust sources) and guest-program
+/// structural lints (L1–L4, vpir assembly) the analyzers check.
+///
+/// The host rules are emitted by `vpir-analyze` over the workspace; the
+/// guest lints are emitted by `vpir-isa-analyze` over assembled
+/// programs. Both share this type so reports render identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// R1 — cycle-level code must not use hash-ordered collections.
@@ -15,10 +20,20 @@ pub enum Rule {
     Config,
     /// R5 — stat counters must be u64 (no silently wrapping widths).
     Counter,
+    /// R6 — cycle-level code must not read wall-clock time.
+    WallClock,
+    /// L1 — guest basic block unreachable from the entry point.
+    Unreachable,
+    /// L2 — guest register read before any write reaches it.
+    UninitRead,
+    /// L3 — guest branch/jump to an undefined or misaligned target.
+    BadTarget,
+    /// L4 — guest memory stored to but never loaded.
+    DeadStore,
 }
 
 impl Rule {
-    /// The short identifier (`R1` … `R5`).
+    /// The short identifier (`R1` … `R6`, `L1` … `L4`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::Determinism => "R1",
@@ -26,6 +41,11 @@ impl Rule {
             Rule::Stats => "R3",
             Rule::Config => "R4",
             Rule::Counter => "R5",
+            Rule::WallClock => "R6",
+            Rule::Unreachable => "L1",
+            Rule::UninitRead => "L2",
+            Rule::BadTarget => "L3",
+            Rule::DeadStore => "L4",
         }
     }
 
@@ -37,6 +57,11 @@ impl Rule {
             Rule::Stats => "stats",
             Rule::Config => "config",
             Rule::Counter => "counter",
+            Rule::WallClock => "wallclock",
+            Rule::Unreachable => "unreachable",
+            Rule::UninitRead => "uninit-read",
+            Rule::BadTarget => "bad-target",
+            Rule::DeadStore => "dead-store",
         }
     }
 }
@@ -47,12 +72,27 @@ pub struct Finding {
     pub rule: Rule,
     /// Path relative to the analyzed root.
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line number (0 when the source location is unknown, e.g.
+    /// a guest program loaded from a binary image).
     pub line: usize,
+    /// 1-based column; 0 when unknown. Host-rule findings are
+    /// line-granular and leave this 0.
+    pub col: usize,
     pub message: String,
     /// The justification from a matching `vpir: allow` comment; `None`
     /// for live (unsuppressed) findings.
     pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// `file:line` or `file:line:col` when the column is known.
+    pub fn location(&self) -> String {
+        if self.col > 0 {
+            format!("{}:{}:{}", self.file, self.line, self.col)
+        } else {
+            format!("{}:{}", self.file, self.line)
+        }
+    }
 }
 
 /// The result of analyzing one source tree.
@@ -85,9 +125,8 @@ impl Report {
         for f in self.live() {
             let _ = writeln!(
                 out,
-                "{}:{}: {}({}): {}",
-                f.file,
-                f.line,
+                "{}: {}({}): {}",
+                f.location(),
                 f.rule.id(),
                 f.rule.name(),
                 f.message
@@ -104,9 +143,8 @@ impl Report {
             for f in self.suppressed() {
                 let _ = writeln!(
                     out,
-                    "  allowed {}:{}: {}({}): {}",
-                    f.file,
-                    f.line,
+                    "  allowed {}: {}({}): {}",
+                    f.location(),
                     f.rule.id(),
                     f.rule.name(),
                     f.suppressed.as_deref().unwrap_or_default()
@@ -129,11 +167,12 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"",
+                "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"",
                 f.rule.id(),
                 f.rule.name(),
                 escape(&f.file),
                 f.line,
+                f.col,
                 escape(&f.message)
             );
             match &f.suppressed {
@@ -176,6 +215,7 @@ mod tests {
             rule,
             file: "crates/core/src/x.rs".into(),
             line: 7,
+            col: 0,
             message: "msg with \"quotes\"".into(),
             suppressed: suppressed.map(String::from),
         }

@@ -1,4 +1,4 @@
-//! The five simulator-invariant rules.
+//! The six simulator-invariant rules.
 //!
 //! | id | name        | scope                                   |
 //! |----|-------------|-----------------------------------------|
@@ -7,6 +7,7 @@
 //! | R3 | stats       | `*Stats` structs in core + stats crates         |
 //! | R4 | config      | `crates/core/src/config.rs` fields              |
 //! | R5 | counter     | same structs as R3                              |
+//! | R6 | wallclock   | cycle-level crates                              |
 //!
 //! Cycle-level crates are the ones whose state evolves per simulated
 //! cycle: `core`, `reuse`, `predict`, `branch`, `mem`. Iteration order
@@ -51,6 +52,7 @@ pub fn run_all(files: &[File]) -> Vec<Finding> {
     for f in files {
         if in_cycle_crate(&f.path) {
             determinism(f, &mut findings);
+            wallclock(f, &mut findings);
         }
         if in_panic_scope(&f.path) {
             panic_freedom(f, &mut findings);
@@ -74,6 +76,7 @@ fn emit(findings: &mut Vec<Finding>, rule: Rule, file: &File, line: usize, messa
         rule,
         file: file.path.clone(),
         line,
+        col: 0,
         message,
         suppressed,
     });
@@ -93,6 +96,26 @@ fn determinism(file: &File, findings: &mut Vec<Finding>) {
                     file,
                     line.number,
                     format!("{ty} in cycle-level code: iteration order depends on hash seeding; use BTreeMap/BTreeSet or a sorted collect"),
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// R6: no wall-clock reads.
+// ----------------------------------------------------------------
+
+fn wallclock(file: &File, findings: &mut Vec<Finding>) {
+    for line in live_lines(file) {
+        for ty in ["Instant", "SystemTime"] {
+            if has_token(&line.code, ty) {
+                emit(
+                    findings,
+                    Rule::WallClock,
+                    file,
+                    line.number,
+                    format!("{ty} in cycle-level code: wall-clock reads make simulated behaviour depend on host timing; measure in cycles, or time at the harness layer"),
                 );
             }
         }

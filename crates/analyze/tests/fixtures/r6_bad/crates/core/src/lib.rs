@@ -1,0 +1,13 @@
+//! R6 bad twin: wall-clock reads in a cycle-level crate.
+use std::time::{Instant, SystemTime};
+
+pub fn cycle_budget_exceeded(started: Instant) -> bool {
+    started.elapsed().as_secs() > 10
+}
+
+pub fn seed() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

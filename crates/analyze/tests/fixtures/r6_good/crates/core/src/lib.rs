@@ -1,0 +1,9 @@
+//! R6 good twin: progress measured in simulated cycles, not wall time.
+
+pub fn cycle_budget_exceeded(now: u64, started_cycle: u64, budget: u64) -> bool {
+    now.saturating_sub(started_cycle) > budget
+}
+
+pub fn seed() -> u64 {
+    0x5eed
+}

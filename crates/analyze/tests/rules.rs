@@ -90,6 +90,17 @@ fn r5_fires_on_narrow_counters() {
 }
 
 #[test]
+fn r6_fires_on_wall_clock_reads_in_cycle_code() {
+    let bad = analyze("r6_bad");
+    let ids = live_ids(&bad);
+    assert_eq!(ids, ["R6", "R6", "R6", "R6"], "{}", bad.to_text());
+    assert!(bad.live().all(|f| f.message.contains("wall-clock")));
+
+    let good = analyze("r6_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
 fn json_output_round_trips_rule_ids() {
     let bad = analyze("r2_bad");
     let json = bad.to_json();

@@ -253,6 +253,11 @@ pub struct CoreConfig {
     /// `Simulator::enable_trace` before the first step). Zero — the
     /// default — collects nothing and costs nothing.
     pub trace_capacity: usize,
+    /// Collect per-static-PC committed-execution / RB-hit / VPT-correct
+    /// counters (`Simulator::pc_profile`). Off by default: the map
+    /// allocates per static instruction, which the allocation-free cycle
+    /// loop otherwise avoids.
+    pub pc_profile: bool,
 }
 
 impl CoreConfig {
@@ -284,6 +289,7 @@ impl CoreConfig {
             paranoia: false,
             fault: FaultInjection::None,
             trace_capacity: 0,
+            pc_profile: false,
         }
     }
 

@@ -33,6 +33,7 @@ use crate::fu::FuPool;
 use crate::rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};
 use crate::spec_state::SpecState;
 use crate::stats::SimStats;
+use vpir_stats::PcStats;
 use crate::trace::{TraceLog, TraceOutcome};
 
 /// Run-length limits for [`Simulator::run`].
@@ -240,6 +241,7 @@ pub struct Simulator {
     vp_addr: Option<Vp>,
     rb: Option<ReuseBuffer>,
     reuse_profile: BTreeMap<u64, (u64, u64)>,
+    pc_profile: BTreeMap<u64, PcStats>,
     trace: Option<TraceLog>,
 
     // Failure model (DESIGN.md §9): forward-progress watchdog state, a
@@ -311,6 +313,7 @@ impl Simulator {
             vp_addr,
             rb,
             reuse_profile: BTreeMap::new(),
+            pc_profile: BTreeMap::new(),
             trace: (config.trace_capacity > 0)
                 .then(|| TraceLog::new(config.trace_capacity)),
             last_commit_cycle: 0,
@@ -363,6 +366,12 @@ impl Simulator {
     /// buffer.
     pub fn reuse_profile(&self) -> &BTreeMap<u64, (u64, u64)> {
         &self.reuse_profile
+    }
+
+    /// Per-PC committed-execution / RB-hit / VPT-correct counters,
+    /// ordered by PC (empty unless [`CoreConfig::pc_profile`] is set).
+    pub fn pc_profile(&self) -> &BTreeMap<u64, PcStats> {
+        &self.pc_profile
     }
 
     /// Starts tracing the next `capacity` dispatched instructions (see
@@ -692,6 +701,9 @@ impl Simulator {
     fn retire(&mut self, e: RobEntry) -> Result<(), SimError> {
         self.stats.committed += 1;
         self.last_commit_cycle = self.now;
+        if self.config.pc_profile {
+            self.pc_profile.entry(e.pc).or_default().executions += 1;
+        }
         // Record the retirement in the diagnostic ring (fixed capacity:
         // push until warm, then overwrite the oldest — no allocation in
         // the steady-state cycle loop).
@@ -796,6 +808,9 @@ impl Simulator {
                     self.stats.result_predicted += 1;
                     if p == actual {
                         self.stats.result_pred_correct += 1;
+                        if self.config.pc_profile {
+                            self.pc_profile.entry(e.pc).or_default().vpt_correct += 1;
+                        }
                     }
                 }
             }
@@ -826,6 +841,9 @@ impl Simulator {
         if e.reused {
             self.stats.reused_full += 1;
             self.reuse_profile.entry(e.pc).or_default().0 += 1;
+            if self.config.pc_profile {
+                self.pc_profile.entry(e.pc).or_default().rb_hits += 1;
+            }
         }
         if e.addr_reused || (e.reused && e.mem.is_some()) {
             self.stats.reused_addr += 1;

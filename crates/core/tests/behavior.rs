@@ -292,3 +292,28 @@ fn stats_are_internally_consistent() {
         assert!(s.port_denials <= s.port_requests);
     }
 }
+
+#[test]
+fn pc_profile_tracks_commits_and_mechanism_hits() {
+    let mut ir_cfg = CoreConfig::with_ir(IrConfig::table1());
+    ir_cfg.pc_profile = true;
+    let (sim, s) = run(REDUNDANT_LOOP, ir_cfg);
+    let profile = sim.pc_profile();
+    assert!(!profile.is_empty());
+    assert_eq!(profile.values().map(|p| p.executions).sum::<u64>(), s.committed);
+    assert_eq!(profile.values().map(|p| p.rb_hits).sum::<u64>(), s.reused_full);
+    assert!(profile.values().all(|p| p.rb_hits <= p.executions));
+
+    let mut vp_cfg = CoreConfig::with_vp(VpConfig::magic());
+    vp_cfg.pc_profile = true;
+    let (sim, s) = run(REDUNDANT_LOOP, vp_cfg);
+    let profile = sim.pc_profile();
+    assert_eq!(
+        profile.values().map(|p| p.vpt_correct).sum::<u64>(),
+        s.result_pred_correct
+    );
+
+    // Off by default: no per-PC collection.
+    let (sim, _) = run(REDUNDANT_LOOP, CoreConfig::table1());
+    assert!(sim.pc_profile().is_empty());
+}

@@ -32,29 +32,39 @@ use std::fmt;
 
 use crate::inst::Inst;
 use crate::op::Op;
-use crate::program::{Program, DATA_BASE, INST_BYTES, TEXT_BASE};
+use crate::program::{Program, SrcLoc, DATA_BASE, INST_BYTES, TEXT_BASE};
 use crate::reg::Reg;
 
-/// An assembly error with its 1-based source line.
+/// An assembly error with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based line number in the source text.
     pub line: usize,
+    /// 1-based byte column of the offending token (sources are ASCII).
+    pub col: usize,
     /// Human-readable description.
     pub msg: String,
 }
 
+impl AsmError {
+    /// Renders the error anchored to a file name, `file:line:col: msg`.
+    pub fn at_file(&self, file: &str) -> String {
+        format!("{file}:{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
     }
 }
 
 impl std::error::Error for AsmError {}
 
-fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+fn err<T>(line: usize, col: usize, msg: impl Into<String>) -> Result<T, AsmError> {
     Err(AsmError {
         line,
+        col,
         msg: msg.into(),
     })
 }
@@ -97,36 +107,36 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut data_cursor = DATA_BASE;
     let mut mode = Mode::Text;
     for line in &lines {
-        for label in &line.labels {
+        for (label, lcol) in &line.labels {
             let addr = match mode {
                 Mode::Text => text_cursor,
                 Mode::Data => data_cursor,
             };
             if labels.insert(label.clone(), addr).is_some() {
-                return err(line.no, format!("duplicate label `{label}`"));
+                return err(line.no, *lcol, format!("duplicate label `{label}`"));
             }
         }
         match &line.body {
             Body::Empty => {}
-            Body::Directive(name, args) => match name.as_str() {
+            Body::Directive(name, dcol, args) => match name.as_str() {
                 ".text" => mode = Mode::Text,
                 ".data" => {
                     mode = Mode::Data;
                     if let Some(arg) = args.first() {
-                        data_cursor = parse_u64(arg, line.no)?;
+                        data_cursor = parse_u64(arg.as_str(), line.no, arg.col)?;
                     }
                 }
                 ".entry" => {}
                 _ => {
                     if mode != Mode::Data {
-                        return err(line.no, format!("`{name}` outside .data"));
+                        return err(line.no, *dcol, format!("`{name}` outside .data"));
                     }
-                    data_cursor += directive_size(name, args, data_cursor, line.no)?;
+                    data_cursor += directive_size(name, *dcol, args, data_cursor, line.no)?;
                 }
             },
-            Body::Inst(mnemonic, args) => {
+            Body::Inst(mnemonic, mcol, args) => {
                 if mode != Mode::Text {
-                    return err(line.no, "instruction inside .data");
+                    return err(line.no, *mcol, "instruction inside .data");
                 }
                 text_cursor += INST_BYTES * inst_count(mnemonic, args, line.no)?;
             }
@@ -135,6 +145,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     // Pass 2: emit.
     let mut insts = Vec::new();
+    let mut src_locs = Vec::new();
     let mut segments: Vec<(u64, Vec<u8>)> = Vec::new();
     let mut seg: Option<(u64, Vec<u8>)> = None;
     let mut data_cursor = DATA_BASE;
@@ -152,14 +163,14 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     for line in &lines {
         match &line.body {
             Body::Empty => {}
-            Body::Directive(name, args) => match name.as_str() {
+            Body::Directive(name, dcol, args) => match name.as_str() {
                 ".text" => {
                     flush(&mut seg, &mut segments);
                 }
                 ".data" => {
                     flush(&mut seg, &mut segments);
                     if let Some(arg) = args.first() {
-                        data_cursor = parse_u64(arg, line.no)?;
+                        data_cursor = parse_u64(arg.as_str(), line.no, arg.col)?;
                     }
                     seg = Some((data_cursor, Vec::new()));
                 }
@@ -168,22 +179,28 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                         .first()
                         .ok_or_else(|| AsmError {
                             line: line.no,
+                            col: *dcol,
                             msg: ".entry needs a label".into(),
                         })?;
                     entry = Some(*labels.get(target.as_str()).ok_or_else(|| AsmError {
                         line: line.no,
-                        msg: format!("undefined label `{target}`"),
+                        col: target.col,
+                        msg: format!("undefined label `{}`", target.as_str()),
                     })?);
                 }
                 _ => {
                     let s = seg.get_or_insert((data_cursor, Vec::new()));
-                    emit_data(name, args, s, &labels, line.no)?;
+                    emit_data(name, *dcol, args, s, &labels, line.no)?;
                     data_cursor = s.0 + s.1.len() as u64;
                 }
             },
-            Body::Inst(mnemonic, operands) => {
-                for inst in encode(mnemonic, operands, pc, &labels, line.no)? {
+            Body::Inst(mnemonic, mcol, operands) => {
+                for inst in encode(mnemonic, *mcol, operands, pc, &labels, line.no)? {
                     insts.push(inst);
+                    src_locs.push(SrcLoc {
+                        line: line.no as u32,
+                        col: *mcol as u32,
+                    });
                     pc += INST_BYTES;
                 }
             }
@@ -197,21 +214,43 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         data: segments,
         entry: entry.unwrap_or(TEXT_BASE),
         labels,
+        src_locs,
     })
+}
+
+/// One operand with the 1-based column of its first character.
+#[derive(Debug, Clone)]
+struct Arg {
+    text: String,
+    col: usize,
+}
+
+impl Arg {
+    fn as_str(&self) -> &str {
+        &self.text
+    }
 }
 
 #[derive(Debug)]
 enum Body {
+    /// Directive or mnemonic bodies carry the head token's column.
     Empty,
-    Directive(String, Vec<String>),
-    Inst(String, Vec<String>),
+    Directive(String, usize, Vec<Arg>),
+    Inst(String, usize, Vec<Arg>),
 }
 
 #[derive(Debug)]
 struct Line {
     no: usize,
-    labels: Vec<String>,
+    labels: Vec<(String, usize)>,
     body: Body,
+}
+
+/// Trims `s`, returning the trimmed slice and the 0-based offset (relative
+/// to the start of the line) where it begins.
+fn trim_indexed(s: &str, base: usize) -> (&str, usize) {
+    let start = s.len() - s.trim_start().len();
+    (s.trim(), base + start)
 }
 
 fn preprocess(source: &str) -> Vec<Line> {
@@ -219,20 +258,25 @@ fn preprocess(source: &str) -> Vec<Line> {
     for (i, raw) in source.lines().enumerate() {
         let no = i + 1;
         let code = strip_comment(raw);
-        let mut rest = code.trim();
+        let (mut rest, mut base) = trim_indexed(code, 0);
         let mut labels = Vec::new();
         while let Some(colon) = find_label(rest) {
-            labels.push(rest[..colon].trim().to_string());
-            rest = rest[colon + 1..].trim();
+            let (name, name_off) = trim_indexed(&rest[..colon], base);
+            labels.push((name.to_string(), name_off + 1));
+            let (r, b) = trim_indexed(&rest[colon + 1..], base + colon + 1);
+            rest = r;
+            base = b;
         }
         let body = if rest.is_empty() {
             Body::Empty
-        } else if rest.starts_with('.') {
-            let (name, args) = split_head(rest);
-            Body::Directive(name, split_args(&args))
         } else {
-            let (name, args) = split_head(rest);
-            Body::Inst(name, split_args(&args))
+            let (name, args, args_off) = split_head(rest, base);
+            let args = split_args(args, args_off);
+            if name.starts_with('.') {
+                Body::Directive(name.to_string(), base + 1, args)
+            } else {
+                Body::Inst(name.to_string(), base + 1, args)
+            }
         };
         out.push(Line { no, labels, body });
     }
@@ -267,42 +311,53 @@ fn find_label(s: &str) -> Option<usize> {
     }
 }
 
-fn split_head(s: &str) -> (String, String) {
+/// Splits the head token from the operand tail, returning the tail's
+/// 0-based offset relative to the start of the line.
+fn split_head(s: &str, base: usize) -> (&str, &str, usize) {
     match s.find(char::is_whitespace) {
-        Some(i) => (s[..i].to_string(), s[i..].trim().to_string()),
-        None => (s.to_string(), String::new()),
+        Some(i) => {
+            let (rest, off) = trim_indexed(&s[i..], base + i);
+            (&s[..i], rest, off)
+        }
+        None => (s, "", base + s.len()),
     }
 }
 
 /// Splits a comma-separated operand list, respecting quoted strings.
-fn split_args(s: &str) -> Vec<String> {
+/// Each operand carries the 1-based column of its first character.
+fn split_args(s: &str, base: usize) -> Vec<Arg> {
+    let push = |args: &mut Vec<Arg>, piece: &str, off: usize| {
+        let (text, start) = trim_indexed(piece, off);
+        args.push(Arg {
+            text: text.to_string(),
+            col: start + 1,
+        });
+    };
     let mut args = Vec::new();
-    let mut cur = String::new();
     let mut in_str = false;
-    for c in s.chars() {
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
         match c {
-            '"' => {
-                in_str = !in_str;
-                cur.push(c);
-            }
+            '"' => in_str = !in_str,
             ',' if !in_str => {
-                args.push(cur.trim().to_string());
-                cur.clear();
+                push(&mut args, &s[start..i], base + start);
+                start = i + 1;
             }
-            _ => cur.push(c),
+            _ => {}
         }
     }
-    if !cur.trim().is_empty() {
-        args.push(cur.trim().to_string());
+    if !s[start..].trim().is_empty() {
+        push(&mut args, &s[start..], base + start);
     }
     args
 }
 
-fn parse_u64(s: &str, line: usize) -> Result<u64, AsmError> {
+fn parse_u64(s: &str, line: usize, col: usize) -> Result<u64, AsmError> {
     parse_i64_raw(s)
         .map(|v| v as u64)
         .ok_or_else(|| AsmError {
             line,
+            col,
             msg: format!("bad number `{s}`"),
         })
 }
@@ -327,19 +382,25 @@ fn parse_i64_raw(s: &str) -> Option<i64> {
 }
 
 /// Parses an immediate: a number or a label.
-fn parse_imm(s: &str, labels: &HashMap<String, u64>, line: usize) -> Result<i64, AsmError> {
+fn parse_imm(
+    s: &str,
+    labels: &HashMap<String, u64>,
+    line: usize,
+    col: usize,
+) -> Result<i64, AsmError> {
     if let Some(v) = parse_i64_raw(s) {
         return Ok(v);
     }
     if let Some(&addr) = labels.get(s.trim()) {
         return Ok(addr as i64);
     }
-    err(line, format!("bad immediate or undefined label `{s}`"))
+    err(line, col, format!("bad immediate or undefined label `{s}`"))
 }
 
-fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+fn parse_reg(s: &str, line: usize, col: usize) -> Result<Reg, AsmError> {
     Reg::parse(s).ok_or_else(|| AsmError {
         line,
+        col,
         msg: format!("bad register `{s}`"),
     })
 }
@@ -349,29 +410,32 @@ fn parse_mem_operand(
     s: &str,
     labels: &HashMap<String, u64>,
     line: usize,
+    col: usize,
 ) -> Result<(i64, Reg), AsmError> {
     let s = s.trim();
     if let Some(open) = s.find('(') {
         let close = s.rfind(')').ok_or_else(|| AsmError {
             line,
+            col,
             msg: format!("unclosed memory operand `{s}`"),
         })?;
         let disp_str = s[..open].trim();
         let disp = if disp_str.is_empty() {
             0
         } else {
-            parse_imm(disp_str, labels, line)?
+            parse_imm(disp_str, labels, line, col)?
         };
-        let base = parse_reg(&s[open + 1..close], line)?;
+        let base = parse_reg(&s[open + 1..close], line, col + open + 1)?;
         Ok((disp, base))
     } else {
-        Ok((parse_imm(s, labels, line)?, Reg::ZERO))
+        Ok((parse_imm(s, labels, line, col)?, Reg::ZERO))
     }
 }
 
 fn directive_size(
     name: &str,
-    args: &[String],
+    dcol: usize,
+    args: &[Arg],
     cursor: u64,
     line: usize,
 ) -> Result<u64, AsmError> {
@@ -383,41 +447,43 @@ fn directive_size(
         ".space" => {
             let n = args.first().ok_or_else(|| AsmError {
                 line,
+                col: dcol,
                 msg: ".space needs a size".into(),
             })?;
-            parse_u64(n, line)
+            parse_u64(n.as_str(), line, n.col)
         }
         ".asciiz" => {
             let s = args.first().ok_or_else(|| AsmError {
                 line,
+                col: dcol,
                 msg: ".asciiz needs a string".into(),
             })?;
-            Ok(unquote(s, line)?.len() as u64 + 1)
+            Ok(unquote(s.as_str(), line, s.col)?.len() as u64 + 1)
         }
         ".align" => {
-            let n = parse_u64(
-                args.first().ok_or_else(|| AsmError {
-                    line,
-                    msg: ".align needs a value".into(),
-                })?,
+            let a = args.first().ok_or_else(|| AsmError {
                 line,
-            )?;
+                col: dcol,
+                msg: ".align needs a value".into(),
+            })?;
+            let n = parse_u64(a.as_str(), line, a.col)?;
             if n == 0 || !n.is_power_of_two() {
-                return err(line, ".align requires a power of two");
+                return err(line, a.col, ".align requires a power of two");
             }
             Ok((n - cursor % n) % n)
         }
-        _ => err(line, format!("unknown directive `{name}`")),
+        _ => err(line, dcol, format!("unknown directive `{name}`")),
     }
 }
 
-fn unquote(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+fn unquote(s: &str, line: usize, col: usize) -> Result<Vec<u8>, AsmError> {
     let s = s.trim();
     let inner = s
         .strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
         .ok_or_else(|| AsmError {
             line,
+            col,
             msg: format!("expected quoted string, got `{s}`"),
         })?;
     let mut out = Vec::new();
@@ -430,7 +496,7 @@ fn unquote(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
                 Some('0') => out.push(0),
                 Some('\\') => out.push(b'\\'),
                 Some('"') => out.push(b'"'),
-                other => return err(line, format!("bad escape `\\{other:?}`")),
+                other => return err(line, col, format!("bad escape `\\{other:?}`")),
             }
         } else {
             out.push(c as u8);
@@ -441,7 +507,8 @@ fn unquote(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
 
 fn emit_data(
     name: &str,
-    args: &[String],
+    dcol: usize,
+    args: &[Arg],
     seg: &mut (u64, Vec<u8>),
     labels: &HashMap<String, u64>,
     line: usize,
@@ -450,29 +517,36 @@ fn emit_data(
     match name {
         ".byte" => {
             for a in args {
-                bytes.push(parse_imm(a, labels, line)? as u8);
+                bytes.push(parse_imm(a.as_str(), labels, line, a.col)? as u8);
             }
         }
         ".half" => {
             for a in args {
-                bytes.extend_from_slice(&(parse_imm(a, labels, line)? as u16).to_le_bytes());
+                bytes.extend_from_slice(
+                    &(parse_imm(a.as_str(), labels, line, a.col)? as u16).to_le_bytes(),
+                );
             }
         }
         ".word" => {
             for a in args {
-                bytes.extend_from_slice(&(parse_imm(a, labels, line)? as u32).to_le_bytes());
+                bytes.extend_from_slice(
+                    &(parse_imm(a.as_str(), labels, line, a.col)? as u32).to_le_bytes(),
+                );
             }
         }
         ".quad" => {
             for a in args {
-                bytes.extend_from_slice(&(parse_imm(a, labels, line)? as u64).to_le_bytes());
+                bytes.extend_from_slice(
+                    &(parse_imm(a.as_str(), labels, line, a.col)? as u64).to_le_bytes(),
+                );
             }
         }
         ".double" => {
             for a in args {
-                let v: f64 = a.trim().parse().map_err(|_| AsmError {
+                let v: f64 = a.as_str().trim().parse().map_err(|_| AsmError {
                     line,
-                    msg: format!("bad float `{a}`"),
+                    col: a.col,
+                    msg: format!("bad float `{}`", a.as_str()),
                 })?;
                 bytes.extend_from_slice(&v.to_bits().to_le_bytes());
             }
@@ -480,36 +554,38 @@ fn emit_data(
         ".space" => {
             let arg = args.first().ok_or_else(|| AsmError {
                 line,
+                col: dcol,
                 msg: ".space needs a size".into(),
             })?;
-            let n = parse_u64(arg, line)?;
+            let n = parse_u64(arg.as_str(), line, arg.col)?;
             bytes.resize(bytes.len() + n as usize, 0);
         }
         ".asciiz" => {
             let arg = args.first().ok_or_else(|| AsmError {
                 line,
+                col: dcol,
                 msg: ".asciiz needs a string".into(),
             })?;
-            bytes.extend_from_slice(&unquote(arg, line)?);
+            bytes.extend_from_slice(&unquote(arg.as_str(), line, arg.col)?);
             bytes.push(0);
         }
         ".align" => {
             let cursor = seg.0 + bytes.len() as u64;
-            let pad = directive_size(name, args, cursor, line)?;
+            let pad = directive_size(name, dcol, args, cursor, line)?;
             bytes.resize(bytes.len() + pad as usize, 0);
         }
-        _ => return err(line, format!("unknown directive `{name}`")),
+        _ => return err(line, dcol, format!("unknown directive `{name}`")),
     }
     Ok(())
 }
 
 /// Number of machine instructions a statement expands to (pass 1).
-fn inst_count(mnemonic: &str, args: &[String], _line: usize) -> Result<u64, AsmError> {
+fn inst_count(mnemonic: &str, args: &[Arg], _line: usize) -> Result<u64, AsmError> {
     match mnemonic {
         "li" => {
             // Sized by the immediate's magnitude; a label operand sizes
             // like `la` (labels always expand to lui+ori).
-            match args.get(1).and_then(|a| parse_i64_raw(a)) {
+            match args.get(1).and_then(|a| parse_i64_raw(a.as_str())) {
                 Some(v) => Ok(li_expansion_len(v)),
                 None => Ok(2),
             }
@@ -560,7 +636,8 @@ fn expand_li(dst: Reg, v: i64) -> Vec<Inst> {
 
 fn encode(
     mnemonic: &str,
-    args: &[String],
+    mcol: usize,
+    args: &[Arg],
     pc: u64,
     labels: &HashMap<String, u64>,
     line: usize,
@@ -571,18 +648,26 @@ fn encode(
         } else {
             err(
                 line,
+                mcol,
                 format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
             )
         }
     };
-    let arg = |i: usize| -> Result<&str, AsmError> {
-        args.get(i).map(String::as_str).ok_or_else(|| AsmError {
+    let arg = |i: usize| -> Result<&Arg, AsmError> {
+        args.get(i).ok_or_else(|| AsmError {
             line,
+            col: mcol,
             msg: format!("`{mnemonic}` is missing operand {}", i + 1),
         })
     };
-    let reg = |i: usize| parse_reg(arg(i)?, line);
-    let imm = |i: usize| parse_imm(arg(i)?, labels, line);
+    let reg = |i: usize| {
+        let a = arg(i)?;
+        parse_reg(a.as_str(), line, a.col)
+    };
+    let imm = |i: usize| {
+        let a = arg(i)?;
+        parse_imm(a.as_str(), labels, line, a.col)
+    };
 
     // Pseudo-instructions first.
     match mnemonic {
@@ -598,7 +683,7 @@ fn encode(
                     Inst::rri(Op::Lui, dst, Reg::ZERO, (v >> 16) & 0xffff),
                     Inst::rri(Op::Ori, dst, dst, v & 0xffff),
                 ]
-            } else if parse_i64_raw(arg(1)?).is_none() {
+            } else if parse_i64_raw(arg(1)?.as_str()).is_none() {
                 // li with a label: fixed la-style expansion.
                 vec![
                     Inst::rri(Op::Lui, dst, Reg::ZERO, (v >> 16) & 0xffff),
@@ -630,6 +715,7 @@ fn encode(
     let op = Op::parse(mnemonic)
         .ok_or_else(|| AsmError {
             line,
+            col: mcol,
             msg: format!("unknown mnemonic `{mnemonic}`"),
         })?;
     let _ = pc;
@@ -659,12 +745,14 @@ fn encode(
         }
         Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | LdF => {
             need(2)?;
-            let (disp, base) = parse_mem_operand(arg(1)?, labels, line)?;
+            let a = arg(1)?;
+            let (disp, base) = parse_mem_operand(a.as_str(), labels, line, a.col)?;
             Inst::mem(op, reg(0)?, base, disp)
         }
         Sb | Sh | Sw | Sd | SdF => {
             need(2)?;
-            let (disp, base) = parse_mem_operand(arg(1)?, labels, line)?;
+            let a = arg(1)?;
+            let (disp, base) = parse_mem_operand(a.as_str(), labels, line, a.col)?;
             Inst::store(op, reg(0)?, base, disp)
         }
         Beq | Bne => {
@@ -690,7 +778,9 @@ fn encode(
         Jalr => match args.len() {
             1 => Inst::jump_reg(op, Some(Reg::RA), reg(0)?),
             2 => Inst::jump_reg(op, Some(reg(0)?), reg(1)?),
-            n => return err(line, format!("`jalr` expects 1 or 2 operands, got {n}")),
+            n => {
+                return err(line, mcol, format!("`jalr` expects 1 or 2 operands, got {n}"))
+            }
         },
         Nop => {
             need(0)?;
@@ -812,6 +902,47 @@ mod tests {
 
         let e = assemble("beq r1, r2, nowhere\n").unwrap_err();
         assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // The bad register operand `rr2` starts at column 13.
+        let e = assemble("nop\n    add r1, rr2, r3\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 13));
+        assert!(e.msg.contains("rr2"));
+
+        // An unknown mnemonic points at the mnemonic itself.
+        let e = assemble("  bogus r1\n").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 3));
+
+        // A bad branch target points at the target operand.
+        let e = assemble("beq r1, r2, nowhere\n").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 13));
+
+        // Duplicate labels point at the redefinition.
+        let e = assemble("x: nop\n  x: nop\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+
+        // Errors after a label prefix still measure from line start.
+        let e = assemble("lab:   lw r1, 8(zz)\n").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 17));
+
+        assert_eq!(
+            e.at_file("prog.s"),
+            format!("prog.s:1:17: {}", e.msg)
+        );
+    }
+
+    #[test]
+    fn src_locs_track_expansion() {
+        let prog = assemble("  li r1, 0x123456\n  nop\nl:  halt\n").unwrap();
+        // li expands to lui+ori: both map to line 1 col 3.
+        assert_eq!(prog.len(), 4);
+        assert_eq!(prog.src_locs.len(), prog.len());
+        assert_eq!((prog.src_locs[0].line, prog.src_locs[0].col), (1, 3));
+        assert_eq!((prog.src_locs[1].line, prog.src_locs[1].col), (1, 3));
+        assert_eq!((prog.src_locs[2].line, prog.src_locs[2].col), (2, 3));
+        assert_eq!((prog.src_locs[3].line, prog.src_locs[3].col), (3, 5));
     }
 
     #[test]

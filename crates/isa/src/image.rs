@@ -167,6 +167,7 @@ pub fn read(bytes: &[u8]) -> Result<Program, ImageError> {
         data,
         entry,
         labels: Default::default(),
+        src_locs: Vec::new(),
     })
 }
 

@@ -14,6 +14,15 @@ pub const STACK_TOP: u64 = 0x7fff_f000;
 /// Size in bytes of one (pre-decoded) instruction slot.
 pub const INST_BYTES: u64 = 4;
 
+/// A 1-based source position (line and column) in assembly text.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrcLoc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based byte column of the mnemonic.
+    pub col: u32,
+}
+
 /// A complete program: instructions, initialised data, entry point, and
 /// the symbol table produced by the assembler.
 ///
@@ -40,6 +49,12 @@ pub struct Program {
     pub entry: u64,
     /// Label → byte address map (text and data labels).
     pub labels: HashMap<String, u64>,
+    /// Source location of each instruction, parallel to `insts`.
+    ///
+    /// Populated by the assembler; empty for programs built from bare
+    /// instruction lists or loaded from binary images (locations are not
+    /// part of the image format).
+    pub src_locs: Vec<SrcLoc>,
 }
 
 impl Program {
@@ -51,7 +66,13 @@ impl Program {
             data: Vec::new(),
             entry: TEXT_BASE,
             labels: HashMap::new(),
+            src_locs: Vec::new(),
         }
+    }
+
+    /// The source location of instruction index `i`, when known.
+    pub fn src_loc(&self, i: usize) -> Option<SrcLoc> {
+        self.src_locs.get(i).copied()
     }
 
     /// Number of static instructions.

@@ -50,7 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use vpir_isa::{Machine, OpClass, Program, NUM_REGS};
 
@@ -145,6 +145,42 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
+/// Figure 8 classification counts for one static instruction (by PC).
+///
+/// The per-program totals in [`LimitStudy`] are the sums of these; the
+/// static analyzer in `vpir-isa-analyze` joins them against its
+/// invariant/stride/input-dependent prediction per static instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcClassCounts {
+    /// Dynamic result-producing executions of this static instruction.
+    pub executions: u64,
+    /// First-time results.
+    pub unique: u64,
+    /// Results produced before by this static instruction.
+    pub repeated: u64,
+    /// Results on a detected stride.
+    pub derivable: u64,
+    /// Instances beyond the buffering cap.
+    pub unaccounted: u64,
+    /// Repeated instances passing the Figure 10 reuse conditions.
+    pub reusable: u64,
+}
+
+impl PcClassCounts {
+    /// The dominant Figure 8 class of this static instruction:
+    /// `"repeated"`, `"derivable"`, or `"unique"` (ties break in that
+    /// order; `unaccounted` never dominates a classified bucket).
+    pub fn dominant_class(&self) -> &'static str {
+        if self.repeated >= self.derivable && self.repeated >= self.unique {
+            "repeated"
+        } else if self.derivable >= self.unique {
+            "derivable"
+        } else {
+            "unique"
+        }
+    }
+}
+
 #[derive(Default)]
 struct StaticInfo {
     /// Distinct results seen (bounded by `max_instances`).
@@ -163,8 +199,19 @@ struct StaticInfo {
 /// FP — not stores, branches, or jumps), matching the paper's
 /// "result-producing dynamic instructions".
 pub fn analyze(program: &Program, max_insts: u64, config: LimitConfig) -> LimitStudy {
+    analyze_per_pc(program, max_insts, config).0
+}
+
+/// Like [`analyze`], but additionally returns the Figure 8 classification
+/// broken down per static instruction address (deterministically ordered).
+pub fn analyze_per_pc(
+    program: &Program,
+    max_insts: u64,
+    config: LimitConfig,
+) -> (LimitStudy, BTreeMap<u64, PcClassCounts>) {
     let mut machine = Machine::new(program);
     let mut study = LimitStudy::default();
+    let mut per_pc: BTreeMap<u64, PcClassCounts> = BTreeMap::new();
     let mut statics: HashMap<u64, StaticInfo> = HashMap::new();
     // Per architectural register: (dynamic index of last writer, writer
     // was itself classified reusable).
@@ -209,6 +256,8 @@ pub fn analyze(program: &Program, max_insts: u64, config: LimitConfig) -> LimitS
 
         let result = ev.out.result.expect("checked");
         study.total += 1;
+        let counts = per_pc.entry(ev.pc).or_default();
+        counts.executions += 1;
         let info = statics.entry(ev.pc).or_default();
 
         // ---- Figure 8 classification ----
@@ -223,12 +272,16 @@ pub fn analyze(program: &Program, max_insts: u64, config: LimitConfig) -> LimitS
         };
         if is_repeated {
             study.repeated += 1;
+            counts.repeated += 1;
         } else if is_derivable {
             study.derivable += 1;
+            counts.derivable += 1;
         } else if capped {
             study.unaccounted += 1;
+            counts.unaccounted += 1;
         } else {
             study.unique += 1;
+            counts.unique += 1;
         }
         if !capped {
             info.results.insert(result);
@@ -284,6 +337,7 @@ pub fn analyze(program: &Program, max_insts: u64, config: LimitConfig) -> LimitS
             reusable_here = !not_ready && inputs_seen;
             if reusable_here {
                 study.reusable += 1;
+                counts.reusable += 1;
             }
         }
 
@@ -291,7 +345,7 @@ pub fn analyze(program: &Program, max_insts: u64, config: LimitConfig) -> LimitS
             reg_writer[dst.index()] = Some((dyn_idx, reusable_here));
         }
     }
-    study
+    (study, per_pc)
 }
 
 #[cfg(test)]
@@ -389,6 +443,34 @@ mod tests {
         );
         assert!(s.repeated > 100, "{s:?}");
         assert!(s.rep_different_inputs > 100, "{s:?}");
+    }
+
+    #[test]
+    fn per_pc_counts_sum_to_study_totals() {
+        let prog = asm::assemble(
+            "       li   r1, 80
+             loop:  li   r2, 7
+                    add  r3, r2, r2
+                    andi r4, r1, 3
+                    addi r1, r1, -1
+                    bne  r1, r0, loop
+                    halt",
+        )
+        .expect("assembles");
+        let (s, per_pc) = analyze_per_pc(&prog, 1_000_000, LimitConfig::default());
+        let sum = |f: fn(&PcClassCounts) -> u64| per_pc.values().map(f).sum::<u64>();
+        assert_eq!(sum(|c| c.executions), s.total);
+        assert_eq!(sum(|c| c.unique), s.unique);
+        assert_eq!(sum(|c| c.repeated), s.repeated);
+        assert_eq!(sum(|c| c.derivable), s.derivable);
+        assert_eq!(sum(|c| c.unaccounted), s.unaccounted);
+        assert_eq!(sum(|c| c.reusable), s.reusable);
+        // The loop-invariant `li r2, 7` is dominantly repeated; the
+        // counter `addi r1, r1, -1` is dominantly derivable.
+        let li_pc = prog.addr_of(1);
+        let ctr_pc = prog.addr_of(4);
+        assert_eq!(per_pc[&li_pc].dominant_class(), "repeated");
+        assert_eq!(per_pc[&ctr_pc].dominant_class(), "derivable");
     }
 
     #[test]

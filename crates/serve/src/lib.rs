@@ -20,6 +20,9 @@
 //! - `POST /v1/run` — simulate one program under one configuration.
 //! - `POST /v1/matrix` — run the fault-isolated benchmark matrix for
 //!   one benchmark (wedged or panicking cells degrade to failure rows).
+//! - `POST /v1/analyze` — static analysis of inline assembly (CFG,
+//!   loops, constant propagation, lints L1–L4), content-addressed by
+//!   the source text.
 //! - `GET /healthz` — liveness plus draining state.
 //! - `GET /metrics` — Prometheus text exposition.
 //! - `POST /v1/shutdown` — graceful drain-and-exit.
@@ -48,6 +51,7 @@ use vpir_bench::matrix::{
 use vpir_bench::state::stats_to_json;
 use vpir_core::{RunLimits, SimError, Simulator, TraceOutcome};
 use vpir_isa::{asm::assemble, image, Program};
+use vpir_isa_analyze::analyze_program;
 use vpir_jsonlite::{parse_json, JsonObj, JsonValue};
 use vpir_workloads::{Bench, Scale};
 
@@ -361,6 +365,7 @@ fn route(state: &Arc<State>, request: &Request) -> Result<Response, HttpError> {
         }),
         ("POST", "/v1/run") => handle_run(state, &request.body),
         ("POST", "/v1/matrix") => handle_matrix(state, &request.body),
+        ("POST", "/v1/analyze") => handle_analyze(state, &request.body),
         ("POST", "/v1/shutdown") => Ok(Response {
             status: 200,
             content_type: JSON,
@@ -369,7 +374,7 @@ fn route(state: &Arc<State>, request: &Request) -> Result<Response, HttpError> {
             shutdown: true,
         }),
         (_, "/healthz" | "/metrics") => Ok(method_not_allowed("GET", &request.method)),
-        (_, "/v1/run" | "/v1/matrix" | "/v1/shutdown") => {
+        (_, "/v1/run" | "/v1/matrix" | "/v1/analyze" | "/v1/shutdown") => {
             Ok(method_not_allowed("POST", &request.method))
         }
         _ => Err(HttpError::new(404, format!("no route for `{}`", request.path))),
@@ -733,6 +738,53 @@ fn render_matrix_body(
 }
 
 // ----------------------------------------------------------------
+// POST /v1/analyze
+// ----------------------------------------------------------------
+
+/// Static analysis of inline assembly. The cache key is the FNV-1a
+/// hash of the source text itself — the analysis is a pure function of
+/// the program, so identical sources share one cached body.
+fn handle_analyze(state: &Arc<State>, body: &[u8]) -> Result<Response, HttpError> {
+    let value = parse_body(body)?;
+    check_keys(&value, &["asm"])?;
+    let source = get_str(&value, "asm")?
+        .ok_or_else(|| HttpError::new(400, "missing required key `asm`"))?
+        .to_string();
+    let program = assemble(&source)
+        .map_err(|e| HttpError::new(400, format!("asm error: {}", e.at_file("inline"))))?;
+
+    let key = fnv1a64(&[b"analyze-v1", source.as_bytes()]);
+    let metrics = Arc::clone(&state.metrics);
+    let job = Box::new(move || -> String {
+        let rendered = catch_unwind(AssertUnwindSafe(|| {
+            let analysis = analyze_program(&program, "inline");
+            metrics.runs_completed.fetch_add(1, Ordering::Relaxed);
+            JsonObj::new()
+                .s("schema", "vpir-serve-analyze-v1")
+                .u("live", analysis.findings.len() as u64)
+                .raw("analysis", &analysis.to_json())
+                .finish()
+        }));
+        match rendered {
+            Ok(body) => body,
+            Err(panic) => {
+                metrics.runs_panicked.fetch_add(1, Ordering::Relaxed);
+                let error_json = JsonObj::new()
+                    .s("kind", "panic")
+                    .s("message", &panic_message(panic.as_ref()))
+                    .finish();
+                JsonObj::new()
+                    .s("schema", "vpir-serve-analyze-v1")
+                    .raw("analysis", "null")
+                    .raw("error", &error_json)
+                    .finish()
+            }
+        }
+    });
+    respond_cached_or_enqueue(state, key, job)
+}
+
+// ----------------------------------------------------------------
 // The cache-or-enqueue core.
 // ----------------------------------------------------------------
 
@@ -898,6 +950,47 @@ mod tests {
         assert!(resp.body.contains("\"program\": \"inline\""), "{}", resp.body);
         assert!(resp.body.contains("\"halted\": true"), "{}", resp.body);
         assert!(resp.body.contains("\"outcome\": \"executed\""), "{}", resp.body);
+        finish(&state, handles);
+    }
+
+    #[test]
+    fn analyze_requests_are_validated_before_any_work_is_queued() {
+        let (state, handles) = test_state(0);
+        let table: &[(&str, &str, &str)] = &[
+            ("[]", "must be a JSON object", "non-object body"),
+            ("{\"zap\": 1}", "unknown key `zap`", "unknown key"),
+            ("{}", "missing required key `asm`", "no program"),
+            ("{\"asm\": \"not an opcode\"}", "asm error: inline:1:", "bad assembly"),
+        ];
+        for (body, fragment, case) in table {
+            let err = handle_analyze(&state, body.as_bytes()).expect_err(case);
+            assert_eq!(err.status, 400, "{case}");
+            assert!(err.message.contains(fragment), "{case}: {}", err.message);
+        }
+        assert_eq!(state.queue.depth(), 0);
+        finish(&state, handles);
+    }
+
+    #[test]
+    fn an_analyze_miss_then_hit_returns_byte_identical_findings() {
+        let (state, handles) = test_state(1);
+        // `add r1, r2, r0` reads r2 before any write: one live L2.
+        let body = b"{\"asm\": \"main: add r1, r2, r0\\nhalt\"}";
+        let miss = handle_analyze(&state, body).expect("miss");
+        assert_eq!(miss.status, 200);
+        assert!(miss.extra.iter().any(|(n, v)| *n == "X-Cache" && v == "miss"));
+        assert!(miss.body.contains("\"schema\": \"vpir-serve-analyze-v1\""), "{}", miss.body);
+        assert!(miss.body.contains("\"live\": 1"), "{}", miss.body);
+        assert!(miss.body.contains("\"rule\":\"L2\""), "{}", miss.body);
+        let hit = handle_analyze(&state, body).expect("hit");
+        assert!(hit.extra.iter().any(|(n, v)| *n == "X-Cache" && v == "hit"));
+        assert_eq!(miss.body.as_str(), hit.body.as_str(), "hit must be byte-identical");
+
+        // A clean program reports zero live findings and its loop.
+        let clean = b"{\"asm\": \"li r1, 3\\nloop: addi r1, r1, -1\\nbne r1, r0, loop\\nhalt\"}";
+        let resp = handle_analyze(&state, clean).expect("clean");
+        assert!(resp.body.contains("\"live\": 0"), "{}", resp.body);
+        assert!(resp.body.contains("\"loops\":1"), "{}", resp.body);
         finish(&state, handles);
     }
 

@@ -83,6 +83,35 @@ where
     }
 }
 
+/// Per-static-instruction dynamic counters collected by the pipeline
+/// when `CoreConfig::pc_profile` is on.
+///
+/// The static analyzer (`vpir-isa-analyze`) joins these against its
+/// per-PC invariance prediction: a statically *invariant* instruction
+/// should show high `rb_hits`, a *stride-derivable* one high
+/// `vpt_correct` under a stride predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcStats {
+    /// Committed executions of this static instruction.
+    pub executions: u64,
+    /// Committed executions satisfied from the reuse buffer.
+    pub rb_hits: u64,
+    /// Committed executions whose VPT prediction matched the result.
+    pub vpt_correct: u64,
+}
+
+impl PcStats {
+    /// Percent of committed executions served by the reuse buffer.
+    pub fn rb_hit_pct(&self) -> f64 {
+        percent(self.rb_hits, self.executions)
+    }
+
+    /// Percent of committed executions the VPT predicted correctly.
+    pub fn vpt_correct_pct(&self) -> f64 {
+        percent(self.vpt_correct, self.executions)
+    }
+}
+
 /// `part / whole` as a percentage; `0.0` when `whole` is zero.
 pub fn percent(part: u64, whole: u64) -> f64 {
     if whole == 0 {

@@ -699,6 +699,7 @@ pub fn compress(scale: Scale) -> (String, Data) {
 main:   li   r6, {passes}
         li   r20, 1
         li   r26, 256           # next code
+        li   r24, 0             # output-buffer write offset
         li   r12, 2654435761    # hash multiplier
         la   r28, {AUX}         # hash table base
         li   r31, 0x20000       # offset of the per-slot use counters

@@ -5,6 +5,8 @@
 //! vpir asm <prog.s> -o <prog.vpir>
 //! vpir disasm <prog.s|prog.vpir>
 //! vpir limit <prog.s|prog.vpir> [--insts N]
+//! vpir analyze-isa <prog.s|prog.vpir> [--format text|json]
+//! vpir analyze-isa --all-workloads [--format text|json] [--insts N]
 //! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
 //!            [--bench NAME] [--dump-dir DIR] [--resume]
 //!            [--inject-fault <bench>/<config>[:panic|:wedge]]
@@ -20,6 +22,12 @@
 //!
 //! `serve` prints the bound address on stdout (so scripts can discover
 //! an ephemeral port) and runs until `POST /v1/shutdown` arrives.
+//!
+//! `analyze-isa` runs the guest static analyzer (CFG, loops, constant
+//! propagation, lints L1–L4); with `--all-workloads` it also
+//! cross-validates the static redundancy classes against the dynamic
+//! limit study and exits nonzero on any lint finding or any statically
+//! invariant instruction the dynamic study contradicts.
 
 use std::env;
 use std::fs;
@@ -32,7 +40,8 @@ use vpir::core::{
 use vpir::bench::matrix::{config_labels, InjectFault, MatrixConfig, RunOptions};
 use vpir::bench::perf::{run_matrix_timed_opts, validate_json, REQUIRED_KEYS};
 use vpir::isa::{asm, image, Program};
-use vpir::redundancy::{analyze, LimitConfig};
+use vpir::isa_analyze::{analyze_program, cross_validate, REQUIRED_KEYS as ANALYZE_KEYS};
+use vpir::redundancy::{analyze, analyze_per_pc, LimitConfig};
 use vpir::serve::{ServeConfig, Server};
 use vpir::workloads::{Bench, Scale};
 
@@ -42,6 +51,7 @@ fn usage() -> ExitCode {
          vpir asm <prog.s> -o <prog.vpir>\n  \
          vpir disasm <prog.s|prog.vpir>\n  \
          vpir limit <prog.s|prog.vpir> [--insts N]\n  \
+         vpir analyze-isa <prog.s|prog.vpir|--all-workloads> [--format text|json] [--insts N]\n  \
          vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
          \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n  \
          vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\n\
@@ -57,7 +67,7 @@ fn load_program(path: &str) -> Result<Program, String> {
         image::read(&bytes).map_err(|e| format!("{path}: {e}"))
     } else {
         let src = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
-        asm::assemble(&src).map_err(|e| format!("{path}: {e}"))
+        asm::assemble(&src).map_err(|e| e.at_file(path))
     }
 }
 
@@ -126,6 +136,7 @@ fn main() -> ExitCode {
         "asm" => cmd_asm(&args[1..]),
         "disasm" => cmd_disasm(&args[1..]),
         "limit" => cmd_limit(&args[1..]),
+        "analyze-isa" => cmd_analyze_isa(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         _ => return usage(),
@@ -203,7 +214,7 @@ fn cmd_asm(args: &[String]) -> Result<(), String> {
         return Err("asm: expected -o <output>".into());
     }
     let src = fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    let program = asm::assemble(&src).map_err(|e| format!("{input}: {e}"))?;
+    let program = asm::assemble(&src).map_err(|e| e.at_file(input))?;
     let bytes = image::write(&program).map_err(|e| e.to_string())?;
     fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
     println!(
@@ -399,6 +410,135 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("listening on {}", server.addr());
     server.join();
     println!("shutdown complete");
+    Ok(())
+}
+
+/// Runs the guest static analyzer on one program, or — with
+/// `--all-workloads` — on every built-in benchmark, cross-validating
+/// the static redundancy classes against the dynamic limit study.
+///
+/// Returns `Err` (nonzero exit) on any lint finding, and in
+/// `--all-workloads` mode also on any statically invariant instruction
+/// the dynamic study contradicts: both mean the analysis or the guest
+/// program regressed.
+fn cmd_analyze_isa(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut all_workloads = false;
+    let mut json_out = false;
+    let mut insts: u64 = 200_000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all-workloads" => all_workloads = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json_out = false,
+                    Some("json") => json_out = true,
+                    _ => return Err("--format needs text|json".into()),
+                }
+            }
+            "--insts" => {
+                i += 1;
+                insts = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--insts needs a number")?;
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => return Err(format!("analyze-isa: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    if !all_workloads {
+        let path = path.ok_or("analyze-isa: missing program path (or --all-workloads)")?;
+        let program = load_program(path)?;
+        let analysis = analyze_program(&program, path);
+        if json_out {
+            let json = analysis.to_json();
+            validate_json(&json, ANALYZE_KEYS)
+                .map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
+            println!("{json}");
+        } else {
+            print!("{}", analysis.to_text());
+        }
+        if !analysis.findings.is_empty() {
+            return Err(format!(
+                "analyze-isa: {} lint finding(s) in {path}",
+                analysis.findings.len()
+            ));
+        }
+        return Ok(());
+    }
+
+    if path.is_some() {
+        return Err("analyze-isa: --all-workloads does not take a program path".into());
+    }
+    let mut total_live = 0usize;
+    let mut total_fps = 0usize;
+    let mut parts: Vec<String> = Vec::new();
+    for bench in Bench::ALL {
+        let program = bench.program(Scale::test());
+        let analysis = analyze_program(&program, bench.name());
+        let (_, per_pc) = analyze_per_pc(&program, insts, LimitConfig::default());
+        let xv = cross_validate(&analysis.insts, &per_pc);
+        total_live += analysis.findings.len();
+        total_fps += xv.false_positive_pcs.len();
+        if json_out {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"analysis\":{},\"xval\":{}}}",
+                bench.name(),
+                analysis.to_json(),
+                xv.to_json()
+            ));
+        } else {
+            let (inv, stride, dep, producers) = analysis.class_counts();
+            println!(
+                "== {} ==  {} inst(s), {} block(s), {} loop(s)",
+                bench.name(),
+                analysis.insts.len(),
+                analysis.cfg.blocks.len(),
+                analysis.loops.loops.len()
+            );
+            println!(
+                "  static: {producers} producers = {inv} invariant + {stride} stride-derivable \
+                 + {dep} input-dependent"
+            );
+            println!(
+                "  xval:   universe {}  static-invariant {}  dynamic-repeated {}  TP {}  \
+                 precision {:.3}  recall {:.3}",
+                xv.universe,
+                xv.static_invariant,
+                xv.dynamic_repeated,
+                xv.true_positives,
+                xv.precision(),
+                xv.recall()
+            );
+            for f in &analysis.findings {
+                println!("  {}: {}({}): {}", f.location(), f.rule.id(), f.rule.name(), f.message);
+            }
+            for pc in &xv.false_positive_pcs {
+                println!("  false positive: {pc:#x} statically invariant but never repeated");
+            }
+        }
+    }
+    if json_out {
+        let json = format!(
+            "{{\"schema\":\"vpir-analyze-isa-v1\",\"insts_per_workload\":{insts},\
+             \"workloads\":[{}],\"live\":{total_live},\"false_positives\":{total_fps}}}",
+            parts.join(",")
+        );
+        validate_json(&json, &["schema", "workloads", "live", "false_positives"])
+            .map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
+        println!("{json}");
+    }
+    if total_live > 0 || total_fps > 0 {
+        return Err(format!(
+            "analyze-isa: {total_live} lint finding(s), {total_fps} cross-validation \
+             false positive(s) across the workloads"
+        ));
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! * [`core`] — the out-of-order pipeline
 //! * [`workloads`] — the seven synthetic benchmarks
 //! * [`redundancy`] — the Section 4.3 limit study
+//! * [`isa_analyze`] — static analysis of guest programs (`vpir analyze-isa`)
 //! * [`stats`] — means and table rendering for the experiment harness
 //! * [`serve`] — the std-only HTTP simulation service (`vpir serve`)
 //! * [`jsonlite`] — the shared dependency-free JSON toolkit
@@ -41,6 +42,7 @@ pub use vpir_jsonlite as jsonlite;
 pub use vpir_serve as serve;
 pub use vpir_core as core;
 pub use vpir_isa as isa;
+pub use vpir_isa_analyze as isa_analyze;
 pub use vpir_mem as mem;
 pub use vpir_predict as predict;
 pub use vpir_redundancy as redundancy;

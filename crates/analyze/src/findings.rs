@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-/// The simulator invariants (R1–R6, host Rust sources) and guest-program
+/// The simulator invariants (R1–R7, host Rust sources) and guest-program
 /// structural lints (L1–L4, vpir assembly) the analyzers check.
 ///
 /// The host rules are emitted by `vpir-analyze` over the workspace; the
@@ -22,6 +22,8 @@ pub enum Rule {
     Counter,
     /// R6 — cycle-level code must not read wall-clock time.
     WallClock,
+    /// R7 — cycle-level hot state must be columnar, not `Vec<Option<…>>`.
+    Columnar,
     /// L1 — guest basic block unreachable from the entry point.
     Unreachable,
     /// L2 — guest register read before any write reaches it.
@@ -42,6 +44,7 @@ impl Rule {
             Rule::Config => "R4",
             Rule::Counter => "R5",
             Rule::WallClock => "R6",
+            Rule::Columnar => "R7",
             Rule::Unreachable => "L1",
             Rule::UninitRead => "L2",
             Rule::BadTarget => "L3",
@@ -58,6 +61,7 @@ impl Rule {
             Rule::Config => "config",
             Rule::Counter => "counter",
             Rule::WallClock => "wallclock",
+            Rule::Columnar => "columnar",
             Rule::Unreachable => "unreachable",
             Rule::UninitRead => "uninit-read",
             Rule::BadTarget => "bad-target",

@@ -1,4 +1,4 @@
-//! The six simulator-invariant rules.
+//! The seven simulator-invariant rules.
 //!
 //! | id | name        | scope                                   |
 //! |----|-------------|-----------------------------------------|
@@ -8,6 +8,7 @@
 //! | R4 | config      | `crates/core/src/config.rs` fields              |
 //! | R5 | counter     | same structs as R3                              |
 //! | R6 | wallclock   | cycle-level crates                              |
+//! | R7 | columnar    | cycle-level crates minus the column module      |
 //!
 //! Cycle-level crates are the ones whose state evolves per simulated
 //! cycle: `core`, `reuse`, `predict`, `branch`, `mem`. Iteration order
@@ -31,6 +32,12 @@ pub struct File {
 /// The crates whose per-cycle state must be deterministic & panic-free.
 const CYCLE_CRATES: [&str; 5] = ["core", "reuse", "predict", "branch", "mem"];
 
+/// The one file allowed to declare `Vec<Option<…>>` state: the ROB
+/// column module, where array-of-structs remnants are being burned down
+/// behind the columnar accessors (R7's escape hatch is the module
+/// boundary, not an allow comment).
+const COLUMN_MODULE: &str = "crates/core/src/rob.rs";
+
 fn in_cycle_crate(path: &str) -> bool {
     CYCLE_CRATES
         .iter()
@@ -53,6 +60,9 @@ pub fn run_all(files: &[File]) -> Vec<Finding> {
         if in_cycle_crate(&f.path) {
             determinism(f, &mut findings);
             wallclock(f, &mut findings);
+            if f.path != COLUMN_MODULE {
+                columnar(f, &mut findings);
+            }
         }
         if in_panic_scope(&f.path) {
             panic_freedom(f, &mut findings);
@@ -118,6 +128,33 @@ fn wallclock(file: &File, findings: &mut Vec<Finding>) {
                     format!("{ty} in cycle-level code: wall-clock reads make simulated behaviour depend on host timing; measure in cycles, or time at the harness layer"),
                 );
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// R7: columnar hot state.
+// ----------------------------------------------------------------
+
+/// Flags `Vec<Option<…>>` struct fields in cycle-level code outside the
+/// column module. That shape is the array-of-structs layout the SoA
+/// refactor removed from the hot loop: per-cycle scans over it pay an
+/// occupancy branch plus a strided load per slot, where parallel
+/// columns behind a validity bitmap pay one word-test per 64 slots.
+fn columnar(file: &File, findings: &mut Vec<Finding>) {
+    let (fields, _) = parse_structs(file);
+    for field in &fields {
+        if field.ty.contains("Vec<Option<") {
+            emit(
+                findings,
+                Rule::Columnar,
+                file,
+                field.line,
+                format!(
+                    "field `{}.{}` is `{}`: Vec<Option<…>> hot state outside {COLUMN_MODULE}; split it into parallel columns with a validity bitmap",
+                    field.struct_name, field.name, field.ty
+                ),
+            );
         }
     }
 }
@@ -590,6 +627,21 @@ mod tests {
         let r4: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Config).collect();
         assert_eq!(r4.len(), 1);
         assert!(r4[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn r7_flags_vec_option_fields_outside_the_column_module() {
+        let src = "pub struct Table {\n    pub slots: Vec<Option<(u64, u64)>>,\n    pub tags: Vec<u64>,\n}\n";
+        let bad = run_all(&[file("crates/branch/src/x.rs", src)]);
+        let r7: Vec<_> = bad.iter().filter(|f| f.rule == Rule::Columnar).collect();
+        assert_eq!(r7.len(), 1);
+        assert!(r7[0].message.contains("Table.slots"));
+        // The column module itself is the burn-down site and exempt.
+        let exempt = run_all(&[file("crates/core/src/rob.rs", src)]);
+        assert!(exempt.iter().all(|f| f.rule != Rule::Columnar));
+        // Non-cycle crates may use whatever layout they like.
+        let cold = run_all(&[file("crates/bench/src/x.rs", src)]);
+        assert!(cold.iter().all(|f| f.rule != Rule::Columnar));
     }
 
     #[test]

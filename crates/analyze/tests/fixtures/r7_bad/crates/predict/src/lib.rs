@@ -1,0 +1,18 @@
+//! R7 bad twin: array-of-structs hot state in a cycle-level crate.
+//!
+//! Each slot packs tag + payload behind an `Option`, so every per-cycle
+//! scan pays an occupancy branch and a strided load per slot.
+
+pub struct ValueTable {
+    pub entries: Vec<Option<(u64, u64)>>,
+    pub history: Vec<Option<u8>>,
+}
+
+impl ValueTable {
+    pub fn predict(&self, idx: usize) -> Option<u64> {
+        match self.entries.get(idx) {
+            Some(Some((_, v))) => Some(*v),
+            _ => None,
+        }
+    }
+}

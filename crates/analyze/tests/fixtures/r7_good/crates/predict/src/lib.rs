@@ -1,0 +1,21 @@
+//! R7 good twin: the same table as parallel columns plus a validity
+//! bitmap — occupancy is one word-test per 64 slots, values are a dense
+//! column load.
+
+pub struct ValueTable {
+    pub tags: Vec<u64>,
+    pub values: Vec<u64>,
+    pub history: Vec<u8>,
+    pub valid: Vec<u64>,
+}
+
+impl ValueTable {
+    pub fn predict(&self, idx: usize) -> Option<u64> {
+        let word = self.valid.get(idx / 64)?;
+        if word & (1 << (idx % 64)) != 0 {
+            self.values.get(idx).copied()
+        } else {
+            None
+        }
+    }
+}

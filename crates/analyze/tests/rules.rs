@@ -101,6 +101,17 @@ fn r6_fires_on_wall_clock_reads_in_cycle_code() {
 }
 
 #[test]
+fn r7_fires_on_vec_option_hot_state_and_not_on_columns() {
+    let bad = analyze("r7_bad");
+    let ids = live_ids(&bad);
+    assert_eq!(ids, ["R7", "R7"], "{}", bad.to_text());
+    assert!(bad.live().all(|f| f.message.contains("Vec<Option<")));
+
+    let good = analyze("r7_good");
+    assert!(live_ids(&good).is_empty(), "{}", good.to_text());
+}
+
+#[test]
 fn json_output_round_trips_rule_ids() {
     let bad = analyze("r2_bad");
     let json = bad.to_json();

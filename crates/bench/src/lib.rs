@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod golden;
 pub mod matrix;
 pub mod microbench;
 pub mod perf;

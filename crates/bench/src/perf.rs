@@ -260,6 +260,164 @@ impl MatrixPerf {
     }
 }
 
+// ----------------------------------------------------------------
+// Cycle-rate tracking (`vpir bench --cycle-rate`).
+// ----------------------------------------------------------------
+
+/// A focused cycles/sec measurement, serialised as `BENCH_cycles.json`.
+///
+/// The matrix report mixes build, limit-study, and simulate phases; the
+/// cycle-rate record isolates the raw cycle-level simulation rate so
+/// the perf trajectory can be tracked — and gated — separately from
+/// matrix wall-clock. `sim_cycles_per_sec` is stored as an integer
+/// because the workspace JSON parser (`vpir-jsonlite`) is deliberately
+/// u64-only; sub-cycle/sec precision is far below measurement noise.
+#[derive(Debug, Clone)]
+pub struct CycleRate {
+    /// Workload scale (outer-loop multiplier).
+    pub scale: u32,
+    /// Per-run cycle cap.
+    pub max_cycles: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Cycle-level simulator runs measured.
+    pub sim_runs: usize,
+    /// Total simulated cycles over every run.
+    pub total_sim_cycles: u64,
+    /// Seconds spent in the simulate phase.
+    pub simulate_seconds: f64,
+    /// Simulated cycles per wall-clock second, rounded to an integer.
+    pub sim_cycles_per_sec: u64,
+}
+
+/// The top-level keys `BENCH_cycles.json` must carry.
+pub const CYCLES_REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "scale",
+    "max_cycles",
+    "jobs",
+    "sim_runs",
+    "total_sim_cycles",
+    "sim_cycles_per_sec",
+];
+
+/// Runs the matrix and distils the cycle-rate record from it.
+///
+/// Fails (instead of reporting a zero rate) when any cell fails — a
+/// partial matrix measures a different workload mix, so gating on it
+/// would compare incomparable numbers.
+pub fn measure_cycle_rate(
+    benches: &[Bench],
+    cfg: MatrixConfig,
+    jobs: usize,
+) -> Result<CycleRate, String> {
+    let (outcome, perf) = run_matrix_timed_opts(benches, cfg, jobs, false, &RunOptions::default());
+    if let Some(first) = outcome.failures.first() {
+        return Err(format!(
+            "cycle-rate run failed: {} of {} cells failed (first: {}/{}: {})",
+            outcome.failures.len(),
+            outcome.total_jobs,
+            first.bench,
+            first.config,
+            first.error
+        ));
+    }
+    Ok(CycleRate {
+        scale: perf.scale,
+        max_cycles: perf.max_cycles,
+        jobs: perf.jobs,
+        sim_runs: perf.sim_runs,
+        total_sim_cycles: perf.total_sim_cycles,
+        simulate_seconds: perf.simulate_seconds,
+        sim_cycles_per_sec: perf.sim_cycles_per_sec.round() as u64,
+    })
+}
+
+impl CycleRate {
+    /// Serialises to the `BENCH_cycles.json` schema (v1).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"vpir-bench-cycles-v1\",\n");
+        s.push_str(&format!("  \"scale\": {},\n", self.scale));
+        s.push_str(&format!("  \"max_cycles\": {},\n", self.max_cycles));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"sim_runs\": {},\n", self.sim_runs));
+        s.push_str(&format!(
+            "  \"total_sim_cycles\": {},\n",
+            self.total_sim_cycles
+        ));
+        s.push_str(&format!(
+            "  \"simulate_milliseconds\": {},\n",
+            (self.simulate_seconds * 1e3).round() as u64
+        ));
+        s.push_str(&format!(
+            "  \"sim_cycles_per_sec\": {}\n",
+            self.sim_cycles_per_sec
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// A one-line human summary for the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "cycle-rate: {} sim runs, jobs={}, {} cycles in {:.2}s = {:.2}M sim cycles/s",
+            self.sim_runs,
+            self.jobs,
+            self.total_sim_cycles,
+            self.simulate_seconds,
+            self.sim_cycles_per_sec as f64 / 1e6,
+        )
+    }
+
+    /// Gates this measurement against a committed baseline document.
+    ///
+    /// Returns a human-readable comparison on success and an error when
+    /// the current rate has regressed more than `max_regression_pct`
+    /// percent below the baseline's `sim_cycles_per_sec` (improvements
+    /// and small regressions pass). The threshold assumes the baseline
+    /// was recorded on comparable hardware; CI pins the canonical
+    /// container for exactly that reason.
+    pub fn gate(&self, baseline_json: &str, max_regression_pct: u64) -> Result<String, String> {
+        let doc = vpir_jsonlite::parse_json(baseline_json)
+            .map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        match doc.get("schema").and_then(|v| v.as_str()) {
+            Some("vpir-bench-cycles-v1") => {}
+            other => {
+                return Err(format!(
+                    "baseline schema is {other:?}, expected \"vpir-bench-cycles-v1\""
+                ))
+            }
+        }
+        let baseline = doc
+            .get("sim_cycles_per_sec")
+            .and_then(|v| v.as_u64())
+            .ok_or("baseline has no integer sim_cycles_per_sec")?;
+        if baseline == 0 {
+            return Err("baseline sim_cycles_per_sec is zero".into());
+        }
+        let floor = baseline.saturating_mul(100 - max_regression_pct.min(100)) / 100;
+        let ratio = self.sim_cycles_per_sec as f64 / baseline as f64;
+        if self.sim_cycles_per_sec < floor {
+            return Err(format!(
+                "cycle-rate regression: {} cycles/s is {:.1}% of the {} baseline \
+                 (gate allows {max_regression_pct}% regression, floor {floor})",
+                self.sim_cycles_per_sec,
+                ratio * 100.0,
+                baseline
+            ));
+        }
+        Ok(format!(
+            "cycle-rate gate: {} cycles/s vs baseline {} ({:+.1}%), within {}%",
+            self.sim_cycles_per_sec,
+            baseline,
+            (ratio - 1.0) * 100.0,
+            max_regression_pct
+        ))
+    }
+}
+
 /// The top-level keys `BENCH_matrix.json` must carry.
 pub const REQUIRED_KEYS: &[&str] = &[
     "schema",
@@ -316,5 +474,65 @@ mod tests {
         validate_json(&no_seq.to_json(), REQUIRED_KEYS).expect("valid");
         // Grammar-level validator tests live with the checker in
         // crates/jsonlite; this test covers the emitter/schema pairing.
+    }
+
+    fn rate(cps: u64) -> CycleRate {
+        CycleRate {
+            scale: 1,
+            max_cycles: 2_000_000,
+            jobs: 1,
+            sim_runs: 133,
+            total_sim_cycles: 10_000_000,
+            simulate_seconds: 8.0,
+            sim_cycles_per_sec: cps,
+        }
+    }
+
+    #[test]
+    fn cycles_json_is_well_formed_and_round_trips() {
+        let json = rate(1_250_000).to_json();
+        validate_json(&json, CYCLES_REQUIRED_KEYS).expect("valid");
+        let doc = vpir_jsonlite::parse_json(&json).expect("parseable");
+        assert_eq!(
+            doc.get("sim_cycles_per_sec").and_then(|v| v.as_u64()),
+            Some(1_250_000)
+        );
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("vpir-bench-cycles-v1")
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_on_improvement() {
+        let baseline = rate(1_000_000).to_json();
+        // 5% down: inside a 10% gate.
+        assert!(rate(950_000).gate(&baseline, 10).is_ok());
+        // Exactly at the floor passes.
+        assert!(rate(900_000).gate(&baseline, 10).is_ok());
+        // Improvements always pass.
+        let up = rate(2_500_000).gate(&baseline, 10).expect("passes");
+        assert!(up.contains("+150.0%"), "{up}");
+    }
+
+    #[test]
+    fn gate_fails_past_threshold() {
+        let baseline = rate(1_000_000).to_json();
+        let err = rate(899_999).gate(&baseline, 10).expect_err("regressed");
+        assert!(err.contains("regression"), "{err}");
+        assert!(err.contains("floor 900000"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_malformed_baselines() {
+        assert!(rate(1).gate("not json", 10).is_err());
+        // Wrong schema.
+        let wrong = "{\"schema\": \"vpir-bench-matrix-v2\", \"sim_cycles_per_sec\": 5}";
+        assert!(rate(1).gate(wrong, 10).unwrap_err().contains("schema"));
+        // Missing or zero rate.
+        let none = "{\"schema\": \"vpir-bench-cycles-v1\"}";
+        assert!(rate(1).gate(none, 10).is_err());
+        let zero = "{\"schema\": \"vpir-bench-cycles-v1\", \"sim_cycles_per_sec\": 0}";
+        assert!(rate(1).gate(zero, 10).is_err());
     }
 }

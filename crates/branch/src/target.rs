@@ -7,6 +7,11 @@
 /// classic BTB policy for computed jumps (switch dispatch, function
 /// pointers).
 ///
+/// Stored as parallel tag/target columns with a validity bitmap rather
+/// than `Vec<Option<(tag, target)>>` (rule R7): `predict` sits on the
+/// per-fetch hot path, and the columnar form keeps the probe to a bit
+/// test plus one tag-column load.
+///
 /// # Examples
 ///
 /// ```
@@ -18,7 +23,12 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct TargetTable {
-    entries: Vec<Option<(u64, u64)>>,
+    /// The jump PC whose target each slot caches (tag column).
+    tags: Vec<u64>,
+    /// The cached target per slot.
+    targets: Vec<u64>,
+    /// One validity bit per slot, 64 slots per word.
+    valid: Vec<u64>,
 }
 
 impl TargetTable {
@@ -29,27 +39,38 @@ impl TargetTable {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> TargetTable {
         assert!(entries > 0, "need at least one entry");
+        let n = entries.next_power_of_two();
         TargetTable {
-            entries: vec![None; entries.next_power_of_two()],
+            tags: vec![0; n],
+            targets: vec![0; n],
+            valid: vec![0; n.div_ceil(64)],
         }
     }
 
     fn index(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) & (self.entries.len() - 1)
+        ((pc >> 2) as usize) & (self.tags.len() - 1)
+    }
+
+    fn is_valid(&self, idx: usize) -> bool {
+        self.valid[idx / 64] & (1 << (idx % 64)) != 0
     }
 
     /// The predicted target for the jump at `pc`, if one is cached.
     pub fn predict(&self, pc: u64) -> Option<u64> {
-        match self.entries[self.index(pc)] {
-            Some((tag, target)) if tag == pc => Some(target),
-            _ => None,
+        let idx = self.index(pc);
+        if self.is_valid(idx) && self.tags[idx] == pc {
+            Some(self.targets[idx])
+        } else {
+            None
         }
     }
 
     /// Records the resolved target of the jump at `pc`.
     pub fn update(&mut self, pc: u64, target: u64) {
         let idx = self.index(pc);
-        self.entries[idx] = Some((pc, target));
+        self.tags[idx] = pc;
+        self.targets[idx] = target;
+        self.valid[idx / 64] |= 1 << (idx % 64);
     }
 }
 
@@ -80,6 +101,15 @@ mod tests {
     #[test]
     fn rounds_to_power_of_two() {
         let tt = TargetTable::new(100);
-        assert_eq!(tt.entries.len(), 128);
+        assert_eq!(tt.tags.len(), 128);
+        assert_eq!(tt.valid.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_predicts_nothing() {
+        let tt = TargetTable::new(8);
+        for pc in (0..0x100).step_by(4) {
+            assert_eq!(tt.predict(pc), None);
+        }
     }
 }

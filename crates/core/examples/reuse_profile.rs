@@ -15,7 +15,8 @@ fn main() {
     let mut sim = Simulator::new(&prog, CoreConfig::with_ir(IrConfig::table1()));
     let s = sim.run(RunLimits::cycles(5_000_000)).clone();
     println!("committed={} mem_ops={} full={} addr={}", s.committed, s.mem_ops, s.reused_full, s.reused_addr);
-    let mut prof: Vec<_> = sim.reuse_profile().iter().collect();
+    let profile = sim.reuse_profile();
+    let mut prof: Vec<_> = profile.iter().collect();
     prof.sort_by_key(|(_, (f, a))| std::cmp::Reverse(f + a));
     for (pc, (f, a)) in prof.iter().take(14) {
         let inst = prog.inst_at(**pc).unwrap();

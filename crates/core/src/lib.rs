@@ -48,7 +48,7 @@ pub use config::{
 pub use error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 pub use fu::FuPool;
 pub use pipeline::{RunLimits, Simulator};
-pub use rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};
+pub use rob::{CtrlState, MemState, Rob, NO_CYCLE};
 pub use spec_state::SpecState;
 pub use stats::SimStats;
 pub use trace::{TraceLog, TraceOutcome, TraceRecord};

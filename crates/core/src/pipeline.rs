@@ -18,7 +18,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use vpir_branch::{Bimodal, DirectionPredictor, Gshare, ReturnStack, StaticTaken, TargetTable};
 use vpir_isa::{
-    execute, Inst, LoadSource, Op, OpClass, Program, Reg, RegFile, INST_BYTES, STACK_TOP,
+    execute, Inst, IntMap, LoadSource, Op, OpClass, Program, Reg, RegFile, INST_BYTES,
+    STACK_TOP,
 };
 use vpir_mem::{Cache, PortArbiter};
 use vpir_predict::{LastValuePredictor, MagicPredictor, StridePredictor, ValuePredictor};
@@ -30,7 +31,7 @@ use crate::config::{
 };
 use crate::error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 use crate::fu::FuPool;
-use crate::rob::{CtrlState, MemState, PendingExec, Rob, RobEntry, VisibleValue};
+use crate::rob::{flag, CtrlState, MemState, Rob, NO_CYCLE};
 use crate::spec_state::SpecState;
 use crate::stats::SimStats;
 use vpir_stats::PcStats;
@@ -172,10 +173,104 @@ struct FetchPred {
     ras_snapshot: Vec<u64>,
 }
 
+/// The rename map: architectural register number -> `(ROB slot, seq)` of
+/// the youngest in-flight writer.
+///
+/// Each entry packs into one word (`(seq << 16) | slot`, `u64::MAX` for
+/// none), so the per-branch checkpoint copy moves `NUM_REGS` words
+/// instead of three per register. Sequence numbers stay below 2^48 for
+/// any reachable run length, and a ROB slot fits 16 bits.
+#[derive(Debug, Clone, Default)]
+struct RenameMap {
+    packed: Vec<u64>,
+}
+
+const RENAME_NONE: u64 = u64::MAX;
+
+impl RenameMap {
+    fn new() -> RenameMap {
+        RenameMap {
+            packed: vec![RENAME_NONE; vpir_isa::NUM_REGS],
+        }
+    }
+
+    #[inline]
+    fn get(&self, reg: usize) -> Option<(usize, u64)> {
+        let v = self.packed[reg];
+        (v != RENAME_NONE).then(|| ((v & 0xffff) as usize, v >> 16))
+    }
+
+    #[inline]
+    fn set(&mut self, reg: usize, slot: usize, seq: u64) {
+        debug_assert!(slot < (1 << 16) && seq < (1 << 48));
+        self.packed[reg] = (seq << 16) | slot as u64;
+    }
+
+    #[inline]
+    fn clear(&mut self, reg: usize) {
+        self.packed[reg] = RENAME_NONE;
+    }
+
+    /// Overwrites `self` with `other`, reusing this map's storage
+    /// (`Vec::clone_from` on the packed words — one `memcpy`).
+    fn copy_from(&mut self, other: &RenameMap) {
+        self.packed.clone_from(&other.packed);
+    }
+
+    /// `(register, (slot, seq))` for every mapped register, ascending.
+    fn entries(&self) -> impl Iterator<Item = (usize, (usize, u64))> + '_ {
+        self.packed.iter().enumerate().filter_map(|(reg, &v)| {
+            (v != RENAME_NONE).then(|| (reg, ((v & 0xffff) as usize, v >> 16)))
+        })
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Checkpoint {
-    map: Vec<Option<(usize, u64)>>,
+    map: RenameMap,
     ras: Vec<u64>,
+}
+
+/// The live branch checkpoints, ordered by sequence number.
+///
+/// At most `max_branches` (8 in Table 1) are ever live, and sequence
+/// numbers only grow, so a sorted `Vec` beats a `BTreeMap`: insertion is
+/// a push, lookup is a binary search over one tiny contiguous slice, and
+/// no tree nodes are ever allocated in the cycle loop.
+#[derive(Debug, Default)]
+struct CheckpointStack {
+    entries: Vec<(u64, Checkpoint)>,
+}
+
+impl CheckpointStack {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn seqs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(seq, _)| *seq)
+    }
+
+    /// Inserts a checkpoint; `seq` must exceed every stored key (dispatch
+    /// order guarantees it).
+    fn insert(&mut self, seq: u64, cp: Checkpoint) {
+        debug_assert!(self.entries.last().is_none_or(|(s, _)| *s < seq));
+        self.entries.push((seq, cp));
+    }
+
+    fn get(&self, seq: u64) -> Option<&Checkpoint> {
+        self.entries
+            .binary_search_by_key(&seq, |(s, _)| *s)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<Checkpoint> {
+        self.entries
+            .binary_search_by_key(&seq, |(s, _)| *s)
+            .ok()
+            .map(|i| self.entries.remove(i).1)
+    }
 }
 
 /// The cycle-level out-of-order simulator.
@@ -219,14 +314,13 @@ pub struct Simulator {
     spec: SpecState,
     arch_regs: RegFile,
     rob: Rob,
-    map: Vec<Option<(usize, u64)>>,
-    checkpoints: BTreeMap<u64, Checkpoint>,
+    map: RenameMap,
+    checkpoints: CheckpointStack,
 
     // Scratch buffers and pools, reused across cycles so the
     // steady-state cycle loop performs no heap allocation (see
     // DESIGN.md §8 for the ownership rules).
     slot_scratch: Vec<usize>,
-    dropped_scratch: Vec<RobEntry>,
     reg_scratch: Vec<Reg>,
     cp_pool: Vec<Checkpoint>,
     ras_pool: Vec<Vec<u64>>,
@@ -240,7 +334,7 @@ pub struct Simulator {
     vp_result: Option<Vp>,
     vp_addr: Option<Vp>,
     rb: Option<ReuseBuffer>,
-    reuse_profile: BTreeMap<u64, (u64, u64)>,
+    reuse_profile: IntMap<u64, (u64, u64)>,
     pc_profile: BTreeMap<u64, PcStats>,
     trace: Option<TraceLog>,
 
@@ -299,10 +393,9 @@ impl Simulator {
             spec,
             arch_regs,
             rob: Rob::new(config.rob_size),
-            map: vec![None; vpir_isa::NUM_REGS],
-            checkpoints: BTreeMap::new(),
+            map: RenameMap::new(),
+            checkpoints: CheckpointStack::default(),
             slot_scratch: Vec::new(),
-            dropped_scratch: Vec::new(),
             reg_scratch: Vec::new(),
             cp_pool: Vec::new(),
             ras_pool: Vec::new(),
@@ -312,7 +405,7 @@ impl Simulator {
             vp_result,
             vp_addr,
             rb,
-            reuse_profile: BTreeMap::new(),
+            reuse_profile: IntMap::default(),
             pc_profile: BTreeMap::new(),
             trace: (config.trace_capacity > 0)
                 .then(|| TraceLog::new(config.trace_capacity)),
@@ -363,9 +456,10 @@ impl Simulator {
     /// Per-PC `(full, address)` reuse counts for committed instructions
     /// (empty unless IR is enabled), ordered by PC. Useful for
     /// diagnosing which static instructions benefit from the reuse
-    /// buffer.
-    pub fn reuse_profile(&self) -> &BTreeMap<u64, (u64, u64)> {
-        &self.reuse_profile
+    /// buffer. (Counts accumulate in a hash map off the commit path;
+    /// this accessor sorts them.)
+    pub fn reuse_profile(&self) -> BTreeMap<u64, (u64, u64)> {
+        self.reuse_profile.iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// Per-PC committed-execution / RB-hit / VPT-correct counters,
@@ -508,9 +602,9 @@ impl Simulator {
             squashes: self.stats.squashes,
             rob_len: self.rob.len(),
             rob_capacity: self.rob.capacity(),
-            rob_head_seq: self.rob.front().map(|e| e.seq),
-            rob_head_pc: self.rob.front().map(|e| e.pc),
-            checkpoint_seqs: self.checkpoints.keys().copied().collect(),
+            rob_head_seq: self.rob.head_seq(),
+            rob_head_pc: self.rob.head_pc(),
+            checkpoint_seqs: self.checkpoints.seqs().collect(),
             fetch_pc: self.fetch_pc,
             fetch_halted: self.fetch_halted,
             fetch_queue_len: self.fetch_queue.len(),
@@ -580,11 +674,9 @@ impl Simulator {
                 self.config.max_branches
             ));
         }
-        for &seq in self.checkpoints.keys() {
+        for seq in self.checkpoints.seqs() {
             let owned = self.rob.slots_in_order().any(|s| {
-                self.rob
-                    .get(s)
-                    .is_some_and(|e| e.seq == seq && e.ctrl.is_some())
+                self.rob.seq[s] == seq && self.rob.has_flag(s, flag::HAS_CTRL)
             });
             if !owned {
                 return Err(format!(
@@ -593,32 +685,29 @@ impl Simulator {
             }
         }
         for slot in self.rob.slots_in_order() {
-            let Some(e) = self.rob.get(slot) else { continue };
-            if e.reused && e.reuse_source.is_none() {
-                return Err(format!(
-                    "seq {} marked reused without an RB source entry",
-                    e.seq
-                ));
+            if !self.rob.reused.test(slot) {
+                continue;
             }
-            if e.reused && e.ctrl.is_some() && e.computed_ctrl.is_none() {
-                return Err(format!(
-                    "reused control seq {} has no computed outcome",
-                    e.seq
-                ));
+            let seq = self.rob.seq[slot];
+            if self.rob.reuse_source[slot].is_none() {
+                return Err(format!("seq {seq} marked reused without an RB source entry"));
             }
-            if e.reused && e.predicted.is_some() {
-                return Err(format!("seq {} is both reused and value-predicted", e.seq));
+            if self.rob.has_flag(slot, flag::HAS_CTRL) && !self.rob.ctrl_out.test(slot) {
+                return Err(format!("reused control seq {seq} has no computed outcome"));
+            }
+            if self.rob.predicted[slot].is_some() {
+                return Err(format!("seq {seq} is both reused and value-predicted"));
             }
         }
-        for (reg, m) in self.map.iter().enumerate() {
-            let Some((slot, seq)) = m else { continue };
-            if let Some(e) = self.rob.get(*slot) {
-                if e.seq == *seq && e.inst.dst.map(|d| d.index()) != Some(reg) {
-                    return Err(format!(
-                        "rename map for r{reg} points at seq {seq} which writes a \
-                         different register"
-                    ));
-                }
+        for (reg, (slot, seq)) in self.map.entries() {
+            if self.rob.is_live(slot)
+                && self.rob.seq[slot] == seq
+                && self.rob.inst[slot].dst.map(|d| d.index()) != Some(reg)
+            {
+                return Err(format!(
+                    "rename map for r{reg} points at seq {seq} which writes a \
+                     different register"
+                ));
             }
         }
         Ok(())
@@ -638,26 +727,25 @@ impl Simulator {
             }
         }
         for _ in 0..self.config.commit_width {
-            let Some(head) = self.rob.front() else { break };
+            let Some(head) = self.rob.head_slot() else { break };
             if !self.can_commit(head) {
                 break;
             }
             // Stores need a data-cache write port at commit.
-            if head.mem.is_some_and(|m| !m.is_load) {
+            if self.rob.stores.test(head) {
                 self.stats.port_requests += 1;
                 if !self.dports.request(self.now) {
                     self.stats.port_denials += 1;
                     break;
                 }
-                let Some(addr) = head.out.addr else {
+                let Some(addr) = self.rob.out[head].addr else {
                     return Err(self.internal_error(
                         "store at commit has no architectural address",
                     ));
                 };
                 self.dcache.access(self.now, addr, true);
             }
-            let Some(e) = self.rob.pop_front() else { break };
-            self.retire(e)?;
+            self.retire(head)?;
             if self.halted {
                 return Ok(());
             }
@@ -665,25 +753,24 @@ impl Simulator {
         Ok(())
     }
 
-    fn can_commit(&self, e: &RobEntry) -> bool {
-        if e.exec.is_some() {
+    fn can_commit(&self, slot: usize) -> bool {
+        if self.rob.exec.test(slot) {
             return false;
         }
-        if self.now <= e.dispatch_cycle {
+        if self.now <= self.rob.dispatch_cycle[slot] {
             return false;
         }
-        if let Some(ctrl) = &e.ctrl {
-            if !ctrl.resolved {
-                return false;
-            }
+        if self.rob.has_flag(slot, flag::HAS_CTRL) && !self.rob.ctrl[slot].resolved {
+            return false;
         }
-        if let Some(mem) = &e.mem {
-            if mem.is_load && !e.reused {
+        if self.rob.has_flag(slot, flag::HAS_MEM) {
+            let mem = &self.rob.mem[slot];
+            if mem.is_load && !self.rob.reused.test(slot) {
                 // The load's access must have completed at the true address.
                 let done = mem
                     .access_finish
                     .is_some_and(|f| f <= self.now)
-                    && mem.accessed_addr == e.out.addr;
+                    && mem.accessed_addr == self.rob.out[slot].addr;
                 if !done {
                     return false;
                 }
@@ -692,60 +779,82 @@ impl Simulator {
                 return false;
             }
         }
-        match e.inst.op.class() {
+        match self.rob.inst[slot].op.class() {
             OpClass::Misc => true,
-            _ => e.nonspec(self.now),
+            _ => self.rob.nonspec_at(slot, self.now),
         }
     }
 
-    fn retire(&mut self, e: RobEntry) -> Result<(), SimError> {
+    fn retire(&mut self, slot: usize) -> Result<(), SimError> {
+        // Copy the head's columns into locals (every column type is
+        // `Copy`), then release the slot before the bookkeeping below.
+        let seq = self.rob.seq[slot];
+        let pc = self.rob.pc[slot];
+        let inst = self.rob.inst[slot];
+        let out = self.rob.out[slot];
+        let dispatch_cycle = self.rob.dispatch_cycle[slot];
+        let exec_count = self.rob.exec_count[slot];
+        let reused = self.rob.reused.test(slot);
+        let addr_reused = self.rob.addr_reused.test(slot);
+        let reuse_source = self.rob.reuse_source[slot];
+        let predicted = self.rob.predicted[slot];
+        let addr_predicted = self.rob.addr_predicted[slot];
+        let mem = self
+            .rob
+            .has_flag(slot, flag::HAS_MEM)
+            .then(|| self.rob.mem[slot]);
+        let ctrl = self
+            .rob
+            .has_flag(slot, flag::HAS_CTRL)
+            .then(|| self.rob.ctrl[slot]);
+        self.rob.free_head();
+
         self.stats.committed += 1;
         self.last_commit_cycle = self.now;
         if self.config.pc_profile {
-            self.pc_profile.entry(e.pc).or_default().executions += 1;
+            self.pc_profile.entry(pc).or_default().executions += 1;
         }
         // Record the retirement in the diagnostic ring (fixed capacity:
         // push until warm, then overwrite the oldest — no allocation in
         // the steady-state cycle loop).
         let rec = RetiredInst {
-            seq: e.seq,
-            pc: e.pc,
-            op: e.inst.op,
+            seq,
+            pc,
+            op: inst.op,
             cycle: self.now,
         };
         if self.retired_ring.len() < RETIRED_RING {
             self.retired_ring.push(rec);
-        } else if let Some(slot) = self.retired_ring.get_mut(self.retired_next) {
-            *slot = rec;
+        } else if let Some(ring) = self.retired_ring.get_mut(self.retired_next) {
+            *ring = rec;
         }
         self.retired_next = (self.retired_next + 1) % RETIRED_RING;
         if let Some(t) = self.trace.as_mut() {
-            t.on_commit(e.seq, self.now);
+            t.on_commit(seq, self.now);
         }
 
         // Architected register state.
-        if let (Some(dst), Some(v)) = (e.inst.dst, e.out.result) {
+        if let (Some(dst), Some(v)) = (inst.dst, out.result) {
             self.arch_regs.write(dst, v);
             if let Some(rb) = self.rb.as_mut() {
                 rb.on_reg_write(dst, v);
             }
         }
-        // Free the rename-map entry if it still points at this instruction.
-        for (reg, m) in self.map.iter_mut().enumerate() {
-            if let Some((_, seq)) = m {
-                if *seq == e.seq {
-                    let _ = reg;
-                    *m = None;
-                }
+        // Free the rename-map entry if it still points at this
+        // instruction. Only our own destination register can — map slots
+        // are written solely at dispatch with that instruction's dst.
+        if let Some(dst) = inst.dst {
+            if self.map.get(dst.index()).is_some_and(|(_, mseq)| mseq == seq) {
+                self.map.clear(dst.index());
             }
         }
-        self.spec.retire_upto(e.seq);
+        self.spec.retire_upto(seq);
 
         // Memory-side bookkeeping.
-        if let Some(mem) = &e.mem {
+        if let Some(mem) = &mem {
             self.stats.mem_ops += 1;
             if !mem.is_load {
-                let Some(addr) = e.out.addr else {
+                let Some(addr) = out.addr else {
                     return Err(
                         self.internal_error("committed store has no architectural address")
                     );
@@ -757,18 +866,18 @@ impl Simulator {
         }
 
         // Control-side bookkeeping.
-        if let Some(ctrl) = &e.ctrl {
-            let lat = ctrl.resolve_cycle.saturating_sub(e.dispatch_cycle);
-            match e.inst.op.class() {
+        if let Some(ctrl) = &ctrl {
+            let lat = ctrl.resolve_cycle.saturating_sub(dispatch_cycle);
+            match inst.op.class() {
                 OpClass::Branch => {
                     self.stats.branches += 1;
-                    let Some(out) = e.out.control else {
+                    let Some(c) = out.control else {
                         return Err(
                             self.internal_error("committed branch has no computed outcome")
                         );
                     };
-                    let actual = out.taken;
-                    self.bp.update(e.pc, actual, ctrl.bp_token);
+                    let actual = c.taken;
+                    self.bp.update(pc, actual, ctrl.bp_token);
                     if ctrl.original_taken != actual {
                         self.stats.branch_mispredicts += 1;
                     }
@@ -776,19 +885,19 @@ impl Simulator {
                     self.stats.branch_resolution_count += 1;
                 }
                 OpClass::JumpReg => {
-                    let Some(out) = e.out.control else {
+                    let Some(c) = out.control else {
                         return Err(self.internal_error(
                             "committed indirect jump has no computed target",
                         ));
                     };
-                    let target = out.target;
-                    if e.inst.is_return() {
+                    let target = c.target;
+                    if inst.is_return() {
                         self.stats.returns += 1;
                         if ctrl.original_target != target {
                             self.stats.return_mispredicts += 1;
                         }
                     } else {
-                        self.targets.update(e.pc, target);
+                        self.targets.update(pc, target);
                     }
                     self.stats.branch_resolution_latency_sum += lat;
                     self.stats.branch_resolution_count += 1;
@@ -798,34 +907,34 @@ impl Simulator {
         }
 
         // Value-prediction training and accounting.
-        if e.inst.dst.is_some() && e.inst.op.class() != OpClass::Jump {
-            if let Some(actual) = e.out.result {
+        if inst.dst.is_some() && inst.op.class() != OpClass::Jump {
+            if let Some(actual) = out.result {
                 self.stats.result_producers += 1;
                 if let Some(vp) = self.vp_result.as_mut() {
-                    vp.train(e.pc, actual);
+                    vp.train(pc, actual);
                 }
-                if let Some(p) = e.predicted {
+                if let Some(p) = predicted {
                     self.stats.result_predicted += 1;
                     if p == actual {
                         self.stats.result_pred_correct += 1;
                         if self.config.pc_profile {
-                            self.pc_profile.entry(e.pc).or_default().vpt_correct += 1;
+                            self.pc_profile.entry(pc).or_default().vpt_correct += 1;
                         }
                     }
                 }
             }
         }
-        if let Some(mem) = &e.mem {
+        if let Some(mem) = &mem {
             if mem.is_load {
-                let Some(actual) = e.out.addr else {
+                let Some(actual) = out.addr else {
                     return Err(
                         self.internal_error("committed load has no architectural address")
                     );
                 };
                 if let Some(vp) = self.vp_addr.as_mut() {
-                    vp.train(e.pc, actual);
+                    vp.train(pc, actual);
                 }
-                if let Some(p) = e.addr_predicted {
+                if let Some(p) = addr_predicted {
                     self.stats.addr_predicted += 1;
                     if p == actual {
                         self.stats.addr_pred_correct += 1;
@@ -838,19 +947,19 @@ impl Simulator {
         // its address, so it counts in both columns (Table 3's address
         // percentages are over memory operations whose effective address
         // came from the RB).
-        if e.reused {
+        if reused {
             self.stats.reused_full += 1;
-            self.reuse_profile.entry(e.pc).or_default().0 += 1;
+            self.reuse_profile.entry(pc).or_default().0 += 1;
             if self.config.pc_profile {
-                self.pc_profile.entry(e.pc).or_default().rb_hits += 1;
+                self.pc_profile.entry(pc).or_default().rb_hits += 1;
             }
         }
-        if e.addr_reused || (e.reused && e.mem.is_some()) {
+        if addr_reused || (reused && mem.is_some()) {
             self.stats.reused_addr += 1;
-            self.reuse_profile.entry(e.pc).or_default().1 += 1;
+            self.reuse_profile.entry(pc).or_default().1 += 1;
         }
-        if e.reused || e.addr_reused {
-            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), e.reuse_source) {
+        if reused || addr_reused {
+            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), reuse_source) {
                 if rb.take_flag(entry) {
                     self.stats.squash_recovered += 1;
                 }
@@ -858,10 +967,10 @@ impl Simulator {
         }
 
         // Execution-count histogram (Table 6).
-        let bucket = (e.exec_count as usize).min(3);
+        let bucket = (exec_count as usize).min(3);
         self.stats.exec_histogram[bucket] += 1;
 
-        if e.inst.op == Op::Halt {
+        if inst.op == Op::Halt {
             self.halted = true;
         }
         Ok(())
@@ -873,27 +982,41 @@ impl Simulator {
 
     fn writeback(&mut self) {
         let mut slots = std::mem::take(&mut self.slot_scratch);
-        slots.clear();
-        slots.extend(self.rob.slots_in_order());
+        self.rob.collect_writeback(&mut slots);
         for &slot in &slots {
-            let Some(e) = self.rob.get(slot) else { continue };
-            let Some(pe) = e.exec else { continue };
-            if pe.finish > self.now {
+            if !self.rob.exec.test(slot) || self.rob.exec_finish[slot] > self.now {
                 continue;
             }
-            self.complete_exec(slot, pe);
+            self.complete_exec(slot);
         }
         self.slot_scratch = slots;
     }
 
-    fn complete_exec(&mut self, slot: usize, pe: PendingExec) {
+    fn complete_exec(&mut self, slot: usize) {
         let verify_latency = self.verify_latency();
-        // Recompute the value produced with the inputs that were used.
-        let (rv, computed_ctrl, computed_addr) = {
-            let e = self.rob.entry(slot);
-            let [in1, in2] = pe.inputs;
-            let inst = e.inst;
-            let pc = e.pc;
+        let finish = self.rob.exec_finish[slot];
+        let inputs = self.rob.exec_inputs[slot];
+        let inputs_correct = self.rob.has_flag(slot, flag::EXEC_IN_CORRECT);
+        let inputs_final = self.rob.has_flag(slot, flag::EXEC_IN_FINAL);
+        // The value produced with the inputs that were used. With
+        // correct inputs the execution saw exactly the dispatch-time
+        // operand values, and every consumed field (result, control
+        // outcome, effective address) is a pure function of them — the
+        // recorded dispatch-time outcome IS the recomputation. (A load's
+        // `result` also involves memory, but the memory-op path below
+        // consumes only the address.) Only a speculative-input execution
+        // needs the functional unit re-run.
+        let inst = self.rob.inst[slot];
+        let pc = self.rob.pc[slot];
+        let (rv, computed_ctrl, computed_addr) = if inputs_correct {
+            let out = self.rob.out[slot];
+            (
+                out.result,
+                out.control.map(|c| (c.taken, c.target)),
+                out.addr,
+            )
+        } else {
+            let [in1, in2] = inputs;
             let read = |r: Reg| {
                 if Some(r) == inst.src1 {
                     in1.unwrap_or(0)
@@ -911,84 +1034,90 @@ impl Simulator {
             )
         };
 
-        let e = self.rob.entry_mut(slot);
-        e.exec = None;
-        e.exec_count += 1;
+        self.rob.exec_finish[slot] = NO_CYCLE;
+        self.rob.exec.clear(slot);
+        self.rob.exec_count[slot] += 1;
         self.stats.executions += 1;
-        let seq = e.seq;
+        let seq = self.rob.seq[slot];
         if let Some(t) = self.trace.as_mut() {
-            t.on_complete(seq, pe.finish);
+            t.on_complete(seq, finish);
         }
-        let e = self.rob.entry_mut(slot);
-        e.last_inputs = pe.inputs;
-        e.last_inputs_correct = pe.inputs_correct;
-        e.last_inputs_final = pe.inputs_final;
-        e.computed_ctrl = computed_ctrl;
+        self.rob.last_inputs[slot] = inputs;
+        self.rob.assign_flag(slot, flag::LAST_CORRECT, inputs_correct);
+        self.rob.assign_flag(slot, flag::LAST_FINAL, inputs_final);
+        // settled ≡ exec_count > 0 (true now) && last inputs correct.
+        self.rob.settled.assign(slot, inputs_correct);
+        match computed_ctrl {
+            Some(c) => {
+                self.rob.computed_ctrl[slot] = c;
+                self.rob.ctrl_out.set(slot);
+            }
+            None => self.rob.ctrl_out.clear(slot),
+        }
 
-        if let Some(mem) = e.mem.as_mut() {
+        if self.rob.has_flag(slot, flag::HAS_MEM) {
             // Memory op: this execution was address generation.
+            let mem = &mut self.rob.mem[slot];
             mem.computed_addr = computed_addr;
-            if pe.inputs_correct {
-                mem.addr_known = Some(pe.finish);
+            if inputs_correct {
+                mem.addr_known = Some(finish);
             }
             // A completed access at a stale address must be redone.
-            if mem.is_load
+            let stale = mem.is_load
                 && mem.access_finish.is_some()
-                && mem.accessed_addr != computed_addr
-            {
+                && mem.accessed_addr != computed_addr;
+            if stale {
                 mem.access_finish = None;
                 mem.accessed_addr = None;
-                e.visible = None;
+                self.rob.accessed.clear(slot);
+                self.rob.clear_visible(slot);
             }
             // Loads produce their value at access completion, not here.
             // Stores have no result; finality comes from promotion or
             // directly when inputs were final.
-            if !mem.is_load && pe.inputs_final {
-                e.nonspec_cycle = Some(pe.finish);
+            if !self.rob.mem[slot].is_load && inputs_final {
+                self.rob.set_nonspec(slot, finish);
             }
             return;
         }
 
-        let was_predicted = e.predicted.is_some();
-        let matches_prediction = was_predicted && e.predicted == rv;
-        if pe.inputs_final {
+        let was_predicted = self.rob.predicted[slot].is_some();
+        let matches_prediction = was_predicted && self.rob.predicted[slot] == rv;
+        if inputs_final {
             if was_predicted && !matches_prediction {
                 // Value misprediction: corrected value visible after the
                 // verification latency (charged once per chain).
-                e.visible = rv.map(|v| VisibleValue {
-                    value: v,
-                    since: pe.finish + verify_latency,
-                });
-                e.nonspec_cycle = Some(pe.finish + verify_latency);
+                match rv {
+                    Some(v) => self.rob.set_visible(slot, v, finish + verify_latency),
+                    None => self.rob.clear_visible(slot),
+                }
+                self.rob.set_nonspec(slot, finish + verify_latency);
             } else if was_predicted {
                 // Correct prediction: consumers already have the value;
                 // verification completes after the latency.
-                e.nonspec_cycle = Some(pe.finish + verify_latency);
+                self.rob.set_nonspec(slot, finish + verify_latency);
             } else {
-                e.visible = rv.map(|v| VisibleValue {
-                    value: v,
-                    since: pe.finish,
-                });
-                e.nonspec_cycle = Some(pe.finish);
+                match rv {
+                    Some(v) => self.rob.set_visible(slot, v, finish),
+                    None => self.rob.clear_visible(slot),
+                }
+                self.rob.set_nonspec(slot, finish);
             }
         } else {
             // Executed with value-speculative inputs: result is visible
             // but remains speculative until promotion.
-            match (e.visible, rv) {
-                (Some(v), Some(nv)) if v.value == nv => {}
-                (_, Some(nv)) => {
-                    e.visible = Some(VisibleValue {
-                        value: nv,
-                        since: pe.finish,
-                    });
+            if let Some(nv) = rv {
+                let same = self.rob.vis_since[slot] != NO_CYCLE
+                    && self.rob.vis_value[slot] == nv;
+                if !same {
+                    self.rob.set_visible(slot, nv, finish);
                 }
-                _ => {}
             }
         }
 
         // Record completed work in the reuse buffer (including wrong-path
         // work — that is how IR recovers squashed effort).
-        if pe.inputs_correct {
+        if inputs_correct {
             self.record_in_rb(slot);
         }
     }
@@ -1004,113 +1133,104 @@ impl Simulator {
         if self.rb.is_none() {
             return;
         }
-        let e = self.rob.entry(slot);
-        if e.reused {
+        if self.rob.reused.test(slot) {
             return;
         }
-        match e.inst.op.class() {
+        let inst = self.rob.inst[slot];
+        match inst.op.class() {
             OpClass::Misc | OpClass::Jump => return,
             _ => {}
         }
+        let out = self.rob.out[slot];
+        let src_values = self.rob.src_values[slot];
+        let producers = self.rob.producers[slot];
         let mut srcs = [None, None];
         let mut src_entries = [None, None];
         let mut src_pcs = [None, None];
-        for (i, src) in [e.inst.src1, e.inst.src2].into_iter().enumerate() {
+        for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
-            srcs[i] = Some((reg, e.src_values[i].unwrap_or(0)));
-            if let Some((pslot, pseq)) = e.producers[i] {
-                if let Some(p) = self.rob.get(pslot) {
-                    if p.seq == pseq {
-                        src_entries[i] = p.rb_entry;
-                        src_pcs[i] = Some(p.pc);
-                    }
+            srcs[i] = Some((reg, src_values[i].unwrap_or(0)));
+            if let Some((pslot, pseq)) = producers[i] {
+                if self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq {
+                    src_entries[i] = self.rob.rb_entry[pslot];
+                    src_pcs[i] = Some(self.rob.pc[pslot]);
                 }
             }
         }
-        let is_branch = e.inst.op.class() == OpClass::Branch;
+        let is_branch = inst.op.class() == OpClass::Branch;
         let result = if is_branch {
-            e.out.control.map(|c| c.taken as u64)
-        } else if e.inst.op.class() == OpClass::JumpReg {
-            e.out.control.map(|c| c.target)
+            out.control.map(|c| c.taken as u64)
+        } else if inst.op.class() == OpClass::JumpReg {
+            out.control.map(|c| c.target)
         } else {
-            e.out.result
+            out.result
         };
-        let mem = e.mem.as_ref().map(|m| RbMem {
-            addr: e.out.addr.expect("memory op address"), // vpir: allow(panic, functional execution computes an address for every memory op)
+        let mem_state = self
+            .rob
+            .has_flag(slot, flag::HAS_MEM)
+            .then(|| self.rob.mem[slot]);
+        let mem = mem_state.as_ref().map(|m| RbMem {
+            addr: out.addr.expect("memory op address"), // vpir: allow(panic, functional execution computes an address for every memory op)
             width: m.width,
         });
         // For loads, only record the full entry once the access finished
         // at the right address; before that, record nothing (the entry
         // will be written when the access completes).
-        if e.mem.as_ref().is_some_and(|m| m.is_load) {
-            let ok = e
-                .mem
-                .as_ref()
-                .is_some_and(|m| m.access_finish.is_some() && m.accessed_addr == e.out.addr);
-            if !ok {
-                return;
+        if let Some(m) = &mem_state {
+            if m.is_load {
+                let ok = m.access_finish.is_some() && m.accessed_addr == out.addr;
+                if !ok {
+                    return;
+                }
             }
         }
         let rec = RbInsert {
-            pc: e.pc,
-            op: e.inst.op,
+            pc: self.rob.pc[slot],
+            op: inst.op,
             srcs,
             src_entries,
             src_pcs,
             result,
             mem,
         };
-        let pc = e.pc;
-        let seq = e.seq;
         let Some(rb) = self.rb.as_mut() else { return };
         let entry = rb.insert(rec);
-        let _ = pc;
-        if let Some(e) = self.rob.get_mut(slot) {
-            if e.seq == seq {
-                e.rb_entry = Some(entry);
-            }
-        }
+        self.rob.rb_entry[slot] = Some(entry);
     }
 
     // ----------------------------------------------------------------
     // Promotion: transitive verification of value-speculative results.
     // ----------------------------------------------------------------
 
-    fn inputs_final_now(&self, e: &RobEntry) -> bool {
-        for p in e.producers.iter().flatten() {
-            let (slot, seq) = *p;
-            match self.rob.get(slot) {
-                Some(pe) if pe.seq == seq
-                    && !pe.nonspec(self.now) => {
-                        return false;
-                    }
-                _ => {} // producer committed: final
+    fn inputs_final_now(&self, slot: usize) -> bool {
+        for p in self.rob.producers[slot].iter().flatten() {
+            let (pslot, pseq) = *p;
+            if self.rob.is_live(pslot)
+                && self.rob.seq[pslot] == pseq
+                && !self.rob.nonspec_at(pslot, self.now)
+            {
+                return false;
             }
+            // Otherwise the producer committed: final.
         }
         true
     }
 
     fn promote(&mut self) {
         let mut slots = std::mem::take(&mut self.slot_scratch);
-        slots.clear();
-        slots.extend(self.rob.slots_in_order());
+        self.rob.collect_promote(&mut slots);
         for &slot in &slots {
-            let Some(e) = self.rob.get(slot) else { continue };
-            if e.nonspec_cycle.is_some() || e.exec.is_some() {
-                continue;
+            if self.rob.has_flag(slot, flag::HAS_MEM) {
+                let m = &self.rob.mem[slot];
+                if m.is_load
+                    && !(m.access_finish.is_some_and(|f| f <= self.now)
+                        && m.accessed_addr == self.rob.out[slot].addr)
+                {
+                    continue;
+                }
             }
-            if e.exec_count == 0 || !e.last_inputs_correct {
-                continue;
-            }
-            if e.mem.as_ref().is_some_and(|m| {
-                m.is_load && !(m.access_finish.is_some_and(|f| f <= self.now)
-                    && m.accessed_addr == e.out.addr)
-            }) {
-                continue;
-            }
-            if self.inputs_final_now(e) {
-                let e = self.rob.entry_mut(slot);
-                e.nonspec_cycle = Some(self.now);
+            if self.inputs_final_now(slot) {
+                self.rob.set_nonspec(slot, self.now);
             }
         }
         self.slot_scratch = slots;
@@ -1122,21 +1242,15 @@ impl Simulator {
 
     fn resolve_branches(&mut self) {
         let mut slots = std::mem::take(&mut self.slot_scratch);
-        slots.clear();
-        slots.extend(self.rob.slots_in_order());
+        self.rob.collect_resolve(&mut slots);
+        let resolution = self.branch_resolution();
         for &slot in &slots {
-            let Some(e) = self.rob.get(slot) else { continue };
-            let Some(ctrl) = &e.ctrl else { continue };
-            if ctrl.resolved || e.exec.is_some() {
-                continue;
-            }
-            let Some((taken, target)) = e.computed_ctrl else {
-                continue;
-            };
-            let inputs_final =
-                e.last_inputs_final || (e.last_inputs_correct && self.inputs_final_now(e));
-            let new_outcome = e.exec_count > ctrl.acted_count;
-            let act_now = match self.branch_resolution() {
+            let (taken, target) = self.rob.computed_ctrl[slot];
+            let inputs_final = self.rob.has_flag(slot, flag::LAST_FINAL)
+                || (self.rob.has_flag(slot, flag::LAST_CORRECT)
+                    && self.inputs_final_now(slot));
+            let new_outcome = self.rob.exec_count[slot] > self.rob.ctrl[slot].acted_count;
+            let act_now = match resolution {
                 BranchResolution::Sb => new_outcome || inputs_final,
                 BranchResolution::Nsb => inputs_final,
             };
@@ -1161,24 +1275,15 @@ impl Simulator {
 
     /// Acts on a computed branch outcome; returns whether it squashed.
     fn act_on_branch(&mut self, slot: usize, taken: bool, target: u64, is_final: bool) -> bool {
-        let (seq, followed_taken, followed_target, fallthrough, true_outcome, is_cond, token) = {
-            let e = self.rob.entry(slot);
-            let ctrl = e.ctrl.as_ref().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
-            (
-                e.seq,
-                ctrl.followed_taken,
-                ctrl.followed_target,
-                e.pc.wrapping_add(INST_BYTES),
-                e.out.control.expect("control outcome"), // vpir: allow(panic, functional execution computes an outcome for every control inst)
-                e.inst.op.class() == OpClass::Branch,
-                ctrl.bp_token,
-            )
-        };
-        {
-            let e = self.rob.entry_mut(slot);
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
-            ctrl.acted_count = e.exec_count;
-        }
+        let seq = self.rob.seq[slot];
+        let ctrl = self.rob.ctrl[slot];
+        let followed_taken = ctrl.followed_taken;
+        let followed_target = ctrl.followed_target;
+        let token = ctrl.bp_token;
+        let fallthrough = self.rob.pc[slot].wrapping_add(INST_BYTES);
+        let true_outcome = self.rob.out[slot].control.expect("control outcome"); // vpir: allow(panic, functional execution computes an outcome for every control inst)
+        let is_cond = self.rob.inst[slot].op.class() == OpClass::Branch;
+        self.rob.ctrl[slot].acted_count = self.rob.exec_count[slot];
 
         let followed_next = if followed_taken {
             followed_target
@@ -1197,18 +1302,17 @@ impl Simulator {
             let spurious = computed_next != true_next;
             let bp_fix = if is_cond { Some((token, taken)) } else { None };
             self.squash_to(seq, computed_next, spurious, bp_fix);
-            let e = self.rob.entry_mut(slot);
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
+            let ctrl = &mut self.rob.ctrl[slot];
             ctrl.followed_taken = taken;
             ctrl.followed_target = if taken { target } else { followed_target };
         }
 
         if is_final {
-            let e = self.rob.entry_mut(slot);
-            let ctrl = e.ctrl.as_mut().expect("ctrl entry"); // vpir: allow(panic, act_on_branch is only reached for control instructions)
+            let ctrl = &mut self.rob.ctrl[slot];
             ctrl.resolved = true;
             ctrl.resolve_cycle = self.now;
-            if let Some(cp) = self.checkpoints.remove(&seq) {
+            self.rob.ctrl_unres.clear(slot);
+            if let Some(cp) = self.checkpoints.remove(seq) {
                 self.cp_pool.push(cp);
             }
         }
@@ -1228,37 +1332,10 @@ impl Simulator {
             self.stats.spurious_squashes += 1;
         }
 
-        // Discard younger instructions (into the reusable scratch Vec —
-        // `RobEntry` owns no heap data, so recycling it is free).
-        let mut dropped = std::mem::take(&mut self.dropped_scratch);
-        self.rob.squash_after_into(seq, &mut dropped);
-        for d in &dropped {
-            if let Some(t) = self.trace.as_mut() {
-                t.on_squash(d.seq, self.now);
-            }
-            if d.exec_count > 0 {
-                self.stats.squashed_executed += 1;
-            }
-            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), d.rb_entry) {
-                rb.flag(entry);
-            }
-            // A squashed store never becomes architectural, but loads on
-            // its path may have captured its (forwarded) value into the
-            // reuse buffer — invalidate those entries.
-            if let (Some(rb), Some(m)) = (self.rb.as_mut(), d.mem.as_ref()) {
-                if !m.is_load {
-                    if let Some(addr) = d.out.addr {
-                        rb.on_store(addr, m.width);
-                    }
-                }
-            }
-            if d.ctrl.is_some() {
-                if let Some(cp) = self.checkpoints.remove(&d.seq) {
-                    self.cp_pool.push(cp);
-                }
-            }
-        }
-
+        // Per-victim bookkeeping straight off the columns (oldest victim
+        // first, matching the old drain order), then drop them all at
+        // once — no entries are moved anywhere.
+        //
         // Register writes on the squashed path never become architectural,
         // so no commit-time invalidation will ever fire for them — but RB
         // entries recorded at writeback may have captured the speculative
@@ -1266,20 +1343,48 @@ impl Simulator {
         // RB with their restored values once the rollback below completes.
         let mut squashed_dsts = std::mem::take(&mut self.reg_scratch);
         squashed_dsts.clear();
-        squashed_dsts.extend(
-            dropped
-                .iter()
-                .filter(|d| d.out.result.is_some())
-                .filter_map(|d| d.inst.dst),
-        );
+        let k = self.rob.count_younger(seq);
+        for i in self.rob.len() - k..self.rob.len() {
+            let slot = self.rob.slot_of_age(i);
+            let vseq = self.rob.seq[slot];
+            if let Some(t) = self.trace.as_mut() {
+                t.on_squash(vseq, self.now);
+            }
+            if self.rob.exec_count[slot] > 0 {
+                self.stats.squashed_executed += 1;
+            }
+            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), self.rob.rb_entry[slot]) {
+                rb.flag(entry);
+            }
+            // A squashed store never becomes architectural, but loads on
+            // its path may have captured its (forwarded) value into the
+            // reuse buffer — invalidate those entries.
+            if self.rob.stores.test(slot) {
+                if let (Some(rb), Some(addr)) = (self.rb.as_mut(), self.rob.out[slot].addr)
+                {
+                    rb.on_store(addr, self.rob.mem[slot].width);
+                }
+            }
+            if self.rob.has_flag(slot, flag::HAS_CTRL) {
+                if let Some(cp) = self.checkpoints.remove(vseq) {
+                    self.cp_pool.push(cp);
+                }
+            }
+            if self.rob.out[slot].result.is_some() {
+                if let Some(dst) = self.rob.inst[slot].dst {
+                    squashed_dsts.push(dst);
+                }
+            }
+        }
+        self.rob.truncate_tail(k);
         squashed_dsts.sort_unstable_by_key(|r| r.index());
         squashed_dsts.dedup();
 
         // Restore rename map and RAS from the squashing branch's
         // checkpoint (direct jumps never squash, so one always exists).
         // `clone_from` / `restore_from` reuse the existing capacity.
-        if let Some(cp) = self.checkpoints.get(&seq) {
-            self.map.clone_from(&cp.map);
+        if let Some(cp) = self.checkpoints.get(seq) {
+            self.map.copy_from(&cp.map);
             self.ras.restore_from(&cp.ras);
         }
 
@@ -1305,7 +1410,6 @@ impl Simulator {
         self.fetch_pc = next_pc;
         self.fetch_halted = false;
         self.fetch_stalled_until = self.now + 1;
-        self.dropped_scratch = dropped;
         self.reg_scratch = squashed_dsts;
     }
 
@@ -1315,58 +1419,57 @@ impl Simulator {
 
     fn memory_access(&mut self) {
         let mut slots = std::mem::take(&mut self.slot_scratch);
-        slots.clear();
-        slots.extend(self.rob.slots_in_order());
+        // Candidates: loads, not reused, no access in flight (from the
+        // loads/reused/accessed masks).
+        self.rob.collect_mem_access(&mut slots);
         for &slot in &slots {
-            let Some(e) = self.rob.get(slot) else { continue };
-            let Some(mem) = &e.mem else { continue };
-            if !mem.is_load || e.reused || mem.access_finish.is_some() {
-                continue;
-            }
+            let mem = self.rob.mem[slot];
             // Which address can we access with?
-            let desired = match (mem.computed_addr, e.addr_predicted) {
+            let desired = match (mem.computed_addr, self.rob.addr_predicted[slot]) {
                 (Some(a), _) => Some(a),
                 (None, Some(p)) => Some(p),
                 (None, None) => None,
             };
             let Some(addr) = desired else { continue };
             let width = mem.width;
-            let seq = e.seq;
+            let seq = self.rob.seq[slot];
 
             // All older store addresses must be known; matching older
-            // stores forward their data.
+            // stores forward their data. The store mask walks exactly the
+            // in-flight stores, oldest first.
             let mut blocked = false;
             let mut forward = false;
-            for s2 in self.rob.slots_in_order() {
-                let Some(older) = self.rob.get(s2) else { continue };
-                if older.seq >= seq {
-                    break;
-                }
-                let Some(om) = &older.mem else { continue };
-                if om.is_load {
-                    continue;
-                }
-                let Some(oaddr) = om.computed_addr else {
-                    blocked = true;
-                    break;
-                };
-                if om.addr_known.is_none() {
-                    blocked = true;
-                    break;
-                }
-                let o_end = oaddr + om.width.bytes();
-                let l_end = addr + width.bytes();
-                let overlap = oaddr < l_end && addr < o_end;
-                if overlap {
-                    let covers = oaddr <= addr && o_end >= l_end;
-                    if covers {
-                        forward = true; // youngest-older wins; keep scanning
-                    } else {
-                        blocked = true;
-                        break;
+            let rob = &self.rob;
+            rob.for_each_masked(
+                |r, w| r.stores.words[w],
+                |s2| {
+                    if rob.seq[s2] >= seq {
+                        return false; // reached the load itself
                     }
-                }
-            }
+                    let om = &rob.mem[s2];
+                    let Some(oaddr) = om.computed_addr else {
+                        blocked = true;
+                        return false;
+                    };
+                    if om.addr_known.is_none() {
+                        blocked = true;
+                        return false;
+                    }
+                    let o_end = oaddr + om.width.bytes();
+                    let l_end = addr + width.bytes();
+                    let overlap = oaddr < l_end && addr < o_end;
+                    if overlap {
+                        let covers = oaddr <= addr && o_end >= l_end;
+                        if covers {
+                            forward = true; // youngest-older wins; keep scanning
+                        } else {
+                            blocked = true;
+                            return false;
+                        }
+                    }
+                    true
+                },
+            );
             if blocked {
                 continue;
             }
@@ -1382,52 +1485,47 @@ impl Simulator {
                 self.dcache.access(self.now, addr, false).ready_cycle
             };
 
-            let value = {
-                let e = self.rob.entry(slot);
-                if Some(addr) == e.out.addr {
-                    e.out.result.unwrap_or(0)
-                } else {
-                    // Wrong (predicted or value-speculative) address:
-                    // the load observes whatever is there.
-                    self.spec.mem().load(addr, width)
-                }
+            let out = self.rob.out[slot];
+            let value = if Some(addr) == out.addr {
+                out.result.unwrap_or(0)
+            } else {
+                // Wrong (predicted or value-speculative) address:
+                // the load observes whatever is there.
+                self.spec.mem().load(addr, width)
             };
             let vl = self.verify_latency();
-            let e = self.rob.entry_mut(slot);
-            let mem = e.mem.as_mut().expect("mem state"); // vpir: allow(panic, slot was filtered to loads at the top of this loop)
-            mem.access_finish = Some(finish);
-            mem.accessed_addr = Some(addr);
-            match e.visible {
-                Some(v) if v.value == value => {}
-                _ => {
-                    e.visible = Some(VisibleValue {
-                        value,
-                        since: finish,
-                    });
-                }
+            {
+                let m = &mut self.rob.mem[slot];
+                m.access_finish = Some(finish);
+                m.accessed_addr = Some(addr);
+            }
+            self.rob.accessed.set(slot);
+            let same =
+                self.rob.vis_since[slot] != NO_CYCLE && self.rob.vis_value[slot] == value;
+            if !same {
+                self.rob.set_visible(slot, value, finish);
             }
             // Finality: correct address from final inputs and no pending
             // result prediction conflict.
-            let addr_final = (e.addr_reused
-                || (mem.addr_known.is_some() && e.last_inputs_final))
-                && Some(addr) == e.out.addr;
+            let addr_final = (self.rob.addr_reused.test(slot)
+                || (self.rob.mem[slot].addr_known.is_some()
+                    && self.rob.has_flag(slot, flag::LAST_FINAL)))
+                && Some(addr) == out.addr;
             if addr_final {
-                let was_predicted = e.predicted.is_some();
-                let correct = e.predicted == e.out.result;
+                let predicted = self.rob.predicted[slot];
+                let was_predicted = predicted.is_some();
+                let correct = predicted == out.result;
                 if was_predicted && !correct {
-                    e.visible = Some(VisibleValue {
-                        value,
-                        since: finish + vl,
-                    });
-                    e.nonspec_cycle = Some(finish + vl);
+                    self.rob.set_visible(slot, value, finish + vl);
+                    self.rob.set_nonspec(slot, finish + vl);
                 } else if was_predicted {
-                    e.nonspec_cycle = Some(finish + vl);
+                    self.rob.set_nonspec(slot, finish + vl);
                 } else {
-                    e.nonspec_cycle = Some(finish);
+                    self.rob.set_nonspec(slot, finish);
                 }
             }
             // Record the completed load in the reuse buffer.
-            if Some(addr) == e.out.addr && e.last_inputs_correct {
+            if Some(addr) == out.addr && self.rob.has_flag(slot, flag::LAST_CORRECT) {
                 self.record_in_rb(slot);
             }
         }
@@ -1438,45 +1536,41 @@ impl Simulator {
     // Issue.
     // ----------------------------------------------------------------
 
-    fn input_view(&self, e: &RobEntry, i: usize) -> Option<u64> {
-        match e.producers[i] {
-            None => e.src_values[i],
-            Some((slot, seq)) => match self.rob.get(slot) {
-                Some(p) if p.seq == seq => p.value_visible(self.now),
-                _ => e.src_values[i], // producer committed
-            },
+    fn input_view(&self, slot: usize, i: usize) -> Option<u64> {
+        match self.rob.producers[slot][i] {
+            None => self.rob.src_values[slot][i],
+            Some((pslot, pseq)) => {
+                if self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq {
+                    self.rob.value_visible(pslot, self.now)
+                } else {
+                    self.rob.src_values[slot][i] // producer committed
+                }
+            }
         }
     }
 
-    fn needs_exec(&self, e: &RobEntry) -> bool {
-        if e.exec.is_some() || e.reused {
-            return false;
-        }
-        match e.inst.op.class() {
-            OpClass::Misc | OpClass::Jump => return false,
-            _ => {}
-        }
-        if let Some(mem) = &e.mem {
-            // Memory ops execute address generation once per new input set.
-            if e.addr_reused && mem.computed_addr.is_some() {
-                return false;
-            }
-        }
-        if e.exec_count == 0 {
+    /// The dynamic half of the needs-exec test. The static half (not
+    /// in-exec, not reused, not addr-reused, executable class) is the
+    /// `collect_issue` mask expression.
+    fn needs_exec(&self, slot: usize) -> bool {
+        if self.rob.exec_count[slot] == 0 {
             return true;
         }
-        if e.last_inputs_correct {
+        if self.rob.has_flag(slot, flag::LAST_CORRECT) {
             return false;
         }
         match self.reexecution() {
             Reexecution::Me => {
                 // Re-execute when any input value changed.
+                let inst = &self.rob.inst[slot];
                 (0..2).any(|i| {
-                    let cur = self.input_view(e, i);
-                    e.inst_src(i).is_some() && cur.is_some() && cur != e.last_inputs[i]
+                    let cur = self.input_view(slot, i);
+                    inst_src(inst, i).is_some()
+                        && cur.is_some()
+                        && cur != self.rob.last_inputs[slot][i]
                 })
             }
-            Reexecution::Nme => self.inputs_final_now(e),
+            Reexecution::Nme => self.inputs_final_now(slot),
         }
     }
 
@@ -1487,81 +1581,159 @@ impl Simulator {
         }
     }
 
+    /// Puts a candidate whose `needs_exec` is currently false to sleep
+    /// when every transition back to true is producer-event-driven.
+    ///
+    /// `needs_exec` is false here with `exec_count > 0` and the result
+    /// not yet known-correct, so it can flip back only through a live
+    /// producer: under [`Reexecution::Me`] when a producer's visible
+    /// value changes (`set_visible`) or the producer commits and the
+    /// operand falls back to its dispatch-time value (`free_head`);
+    /// under [`Reexecution::Nme`] when the last non-final producer
+    /// becomes non-speculative (`set_nonspec`) or commits. A producer
+    /// whose visibility / finality is already scheduled for a known
+    /// future cycle fires no further event, so the candidate keeps
+    /// polling instead. With no live producers nothing can flip the
+    /// test, and sleeping with no waiters (until squash or commit
+    /// recycles the slot) is equally sound.
+    fn sleep_until_reexec_possible(&mut self, slot: usize) {
+        let mut blockers = [None, None];
+        let mut pollable = false;
+        match self.reexecution() {
+            Reexecution::Me => {
+                for (i, p) in self.rob.producers[slot].iter().enumerate() {
+                    let Some((pslot, pseq)) = *p else { continue };
+                    if !(self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq) {
+                        continue; // committed: operand value is fixed
+                    }
+                    let vs = self.rob.vis_since[pslot];
+                    if vs != NO_CYCLE && vs > self.now {
+                        pollable = true; // becomes visible at a known cycle
+                    } else {
+                        blockers[i] = Some(pslot);
+                    }
+                }
+            }
+            Reexecution::Nme => {
+                for (i, p) in self.rob.producers[slot].iter().enumerate() {
+                    let Some((pslot, pseq)) = *p else { continue };
+                    if !(self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq)
+                        || self.rob.nonspec_at(pslot, self.now)
+                    {
+                        continue; // already final
+                    }
+                    if self.rob.nonspec_cycle[pslot] != NO_CYCLE {
+                        pollable = true; // becomes final at a known cycle
+                    } else {
+                        blockers[i] = Some(pslot);
+                    }
+                }
+            }
+        }
+        if !pollable {
+            self.rob.sleep_issue(slot, blockers);
+        }
+    }
+
     fn issue(&mut self) {
         let mut issued = 0;
         let mut slots = std::mem::take(&mut self.slot_scratch);
-        slots.clear();
-        slots.extend(self.rob.slots_in_order());
+        self.rob.collect_issue(&mut slots);
         for &slot in &slots {
             if issued >= self.config.issue_width {
                 break;
             }
-            let Some(e) = self.rob.get(slot) else { continue };
-            if self.now <= e.dispatch_cycle || !self.needs_exec(e) {
+            if self.now <= self.rob.dispatch_cycle[slot] {
+                continue;
+            }
+            if !self.needs_exec(slot) {
+                self.sleep_until_reexec_possible(slot);
                 continue;
             }
             // Gather input operands (stores need only the base register
-            // for address generation).
-            let is_store = e.mem.as_ref().is_some_and(|m| !m.is_load);
+            // for address generation). A blocked operand means a live
+            // producer whose value is not visible yet; when every
+            // blocking producer's unblocking is event-driven (visibility
+            // cycle unknown, rather than already scheduled), the
+            // candidate sleeps until one of them fires.
+            let inst = self.rob.inst[slot];
+            let is_store = self.rob.stores.test(slot);
             let mut inputs = [None, None];
             let mut ready = true;
+            let mut blockers = [None, None];
+            let mut pollable = false;
             #[allow(clippy::needless_range_loop)] // i also names the operand
             for i in 0..2 {
-                if e.inst_src(i).is_none() {
+                if inst_src(&inst, i).is_none() {
                     continue;
                 }
                 if is_store && i == 1 {
                     continue; // store data not needed for address gen
                 }
-                match self.input_view(e, i) {
+                match self.input_view(slot, i) {
                     Some(v) => inputs[i] = Some(v),
                     None => {
                         ready = false;
-                        break;
+                        // `input_view` returns None only for a live,
+                        // seq-matching producer with an invisible
+                        // value; a missing producer (unreachable here)
+                        // defensively keeps the candidate polling.
+                        match self.rob.producers[slot][i] {
+                            Some((pslot, _)) if self.rob.vis_since[pslot] == NO_CYCLE => {
+                                blockers[i] = Some(pslot);
+                            }
+                            // Visibility already scheduled for a known
+                            // future cycle: no event will fire, so
+                            // keep polling.
+                            _ => pollable = true,
+                        }
                     }
                 }
             }
             if !ready {
+                if !pollable {
+                    self.rob.sleep_issue(slot, blockers);
+                }
                 continue;
             }
-            let op = e.inst.op;
+            let op = inst.op;
             if !self.fus.try_issue(self.now, op) {
                 continue; // contention: counted by the pool
             }
             let latency = op.latency().0 as u64;
+            let src_values = self.rob.src_values[slot];
             let inputs_correct = (0..2).all(|i| {
                 if is_store && i == 1 {
                     true
                 } else {
-                    e.inst_src(i).is_none() || inputs[i] == e.src_values[i]
+                    inst_src(&inst, i).is_none() || inputs[i] == src_values[i]
                 }
             });
             let inputs_final = {
                 let mut fin = true;
                 for i in 0..2 {
-                    if e.inst_src(i).is_none() || (is_store && i == 1) {
+                    if inst_src(&inst, i).is_none() || (is_store && i == 1) {
                         continue;
                     }
-                    if let Some((pslot, pseq)) = e.producers[i] {
-                        if let Some(p) = self.rob.get(pslot) {
-                            if p.seq == pseq && !p.nonspec(self.now) {
-                                fin = false;
-                            }
+                    if let Some((pslot, pseq)) = self.rob.producers[slot][i] {
+                        if self.rob.is_live(pslot)
+                            && self.rob.seq[pslot] == pseq
+                            && !self.rob.nonspec_at(pslot, self.now)
+                        {
+                            fin = false;
                         }
                     }
                 }
                 fin
             };
-            let e = self.rob.entry_mut(slot);
-            e.exec = Some(PendingExec {
-                finish: self.now + latency,
-                inputs,
-                inputs_correct,
-                inputs_final,
-            });
-            let seq = e.seq;
+            self.rob.exec_finish[slot] = self.now + latency;
+            self.rob.exec_inputs[slot] = inputs;
+            self.rob
+                .assign_flag(slot, flag::EXEC_IN_CORRECT, inputs_correct);
+            self.rob.assign_flag(slot, flag::EXEC_IN_FINAL, inputs_final);
+            self.rob.exec.set(slot);
             if let Some(t) = self.trace.as_mut() {
-                t.on_issue(seq, self.now);
+                t.on_issue(self.rob.seq[slot], self.now);
             }
             issued += 1;
         }
@@ -1573,7 +1745,7 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn dispatch(&mut self) {
-        let mut lsq_used = self.in_flight_mem_ops();
+        let mut lsq_used = self.rob.mem_ops_in_flight();
         for _ in 0..self.config.decode_width {
             if self.rob.is_full() {
                 break;
@@ -1601,15 +1773,6 @@ impl Simulator {
         }
     }
 
-    /// Memory operations currently occupying load/store-queue entries
-    /// (dispatched and not yet committed or squashed).
-    fn in_flight_mem_ops(&self) -> usize {
-        self.rob
-            .slots_in_order()
-            .filter(|&s| self.rob.get(s).is_some_and(|e| e.mem.is_some()))
-            .count()
-    }
-
     /// Dispatches one instruction; returns `true` if a reused branch
     /// resolved against the followed path and redirected fetch.
     fn dispatch_one(&mut self, mut f: FetchedInst) -> bool {
@@ -1625,12 +1788,8 @@ impl Simulator {
         for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
             src_values[i] = Some(self.spec.regs().read(reg));
-            if let Some((slot, pseq)) = self.map[reg.index()] {
-                if self
-                    .rob
-                    .get(slot)
-                    .is_some_and(|p| p.seq == pseq)
-                {
+            if let Some((slot, pseq)) = self.map.get(reg.index()) {
+                if self.rob.is_live(slot) && self.rob.seq[slot] == pseq {
                     producers[i] = Some((slot, pseq));
                 }
             }
@@ -1645,58 +1804,36 @@ impl Simulator {
             self.spec.write_mem(seq, acc.addr, acc.width, acc.value);
         }
 
-        let mut entry = RobEntry {
-            seq,
-            pc,
-            inst,
-            dispatch_cycle: self.now,
-            out,
-            src_values,
-            producers,
-            visible: None,
-            nonspec_cycle: None,
-            exec: None,
-            exec_count: 0,
-            last_inputs: [None, None],
-            last_inputs_correct: false,
-            last_inputs_final: false,
-            computed_ctrl: None,
-            predicted: None,
-            addr_predicted: None,
-            reused: false,
-            addr_reused: false,
-            late_reused: false,
-            reuse_source: None,
-            rb_entry: None,
-            ctrl: None,
-            mem: None,
-        };
+        // Claim and reset the tail slot. The slot stays invisible to all
+        // stage scans until `commit_push` below, matching the old
+        // build-entry-outside-the-ROB dispatch.
+        let slot = self
+            .rob
+            .begin_push(seq, pc, inst, self.now, out, src_values, producers);
 
         // Class-specific initialisation.
         match inst.op.class() {
             OpClass::Misc => {
-                entry.nonspec_cycle = Some(self.now + 1);
+                self.rob.set_nonspec(slot, self.now + 1);
             }
             OpClass::Jump => {
                 // Direct jumps never mispredict; `jal`'s link value is
                 // known at decode.
-                entry.nonspec_cycle = Some(self.now + 1);
+                self.rob.set_nonspec(slot, self.now + 1);
                 if let Some(link) = out.result {
-                    entry.visible = Some(VisibleValue {
-                        value: link,
-                        since: self.now + 1,
-                    });
+                    self.rob.set_visible(slot, link, self.now + 1);
                 }
             }
             OpClass::Load | OpClass::Store => {
-                entry.mem = Some(MemState {
+                self.rob.mem[slot] = MemState {
                     is_load: inst.op.class() == OpClass::Load,
                     width: inst.op.mem_width().expect("memory width"), // vpir: allow(panic, Load/Store opcodes always define an access width)
                     addr_known: None,
                     computed_addr: None,
                     access_finish: None,
                     accessed_addr: None,
-                });
+                };
+                self.rob.assign_flag(slot, flag::HAS_MEM, true);
             }
             _ => {}
         }
@@ -1708,11 +1845,11 @@ impl Simulator {
         if matches!(inst.op.class(), OpClass::Branch | OpClass::JumpReg) {
             let pred = f.pred.take().expect("control insts carry predictions"); // vpir: allow(panic, fetch attaches a prediction to every branch and indirect jump)
             let mut cp = self.cp_pool.pop().unwrap_or_default();
-            cp.map.clone_from(&self.map);
+            cp.map.copy_from(&self.map);
             let old_ras = std::mem::replace(&mut cp.ras, pred.ras_snapshot);
             self.ras_pool.push(old_ras);
             self.checkpoints.insert(seq, cp);
-            entry.ctrl = Some(CtrlState {
+            self.rob.ctrl[slot] = CtrlState {
                 followed_taken: pred.taken,
                 followed_target: pred.target,
                 original_taken: pred.taken,
@@ -1722,10 +1859,12 @@ impl Simulator {
                 resolved: false,
                 resolve_cycle: 0,
                 acted_count: 0,
-            });
+            };
+            self.rob.assign_flag(slot, flag::HAS_CTRL, true);
+            self.rob.ctrl_unres.set(slot);
         } else if inst.op.class() == OpClass::Jump {
             let target = out.control.expect("jump target").target; // vpir: allow(panic, direct jumps always compute a control outcome)
-            entry.ctrl = Some(CtrlState {
+            self.rob.ctrl[slot] = CtrlState {
                 followed_taken: true,
                 followed_target: target,
                 original_taken: true,
@@ -1735,38 +1874,42 @@ impl Simulator {
                 resolved: true,
                 resolve_cycle: self.now,
                 acted_count: 0,
-            });
+            };
+            self.rob.assign_flag(slot, flag::HAS_CTRL, true);
         }
 
         // Enhancement hooks.
         match self.config.enhancement {
-            Enhancement::Vp(_) => self.dispatch_vp(&mut entry),
-            Enhancement::Ir(ir) => self.dispatch_ir(&mut entry, ir.validation),
+            Enhancement::Vp(_) => self.dispatch_vp(slot),
+            Enhancement::Ir(ir) => self.dispatch_ir(slot, ir.validation),
             Enhancement::Hybrid(_, ir) => {
                 // Reuse first (non-speculative); predict only what missed.
-                self.dispatch_ir(&mut entry, ir.validation);
-                if !entry.reused {
-                    self.dispatch_vp(&mut entry);
+                self.dispatch_ir(slot, ir.validation);
+                if !self.rob.reused.test(slot) {
+                    self.dispatch_vp(slot);
                 }
             }
             Enhancement::None => {}
         }
 
+        let reused = self.rob.reused.test(slot);
         if let Some(t) = self.trace.as_mut() {
             t.on_dispatch(seq, pc, inst, self.now);
-            if entry.reused {
+            if reused {
                 t.on_outcome(seq, TraceOutcome::Reused);
-            } else if entry.predicted.is_some() || entry.addr_predicted.is_some() {
+            } else if self.rob.predicted[slot].is_some()
+                || self.rob.addr_predicted[slot].is_some()
+            {
                 t.on_outcome(seq, TraceOutcome::Predicted);
-            } else if entry.addr_reused {
+            } else if self.rob.addr_reused.test(slot) {
                 t.on_outcome(seq, TraceOutcome::AddrReused);
             }
         }
-        let reused_branch = entry.reused && entry.ctrl.is_some();
-        let slot = self.rob.push(entry);
+        let reused_branch = reused && self.rob.has_flag(slot, flag::HAS_CTRL);
+        self.rob.commit_push(slot);
         if let Some(dst) = inst.dst {
             if !dst.is_zero() {
-                self.map[dst.index()] = Some((slot, seq));
+                self.map.set(dst.index(), slot, seq);
             }
         }
         if inst.op == Op::Halt {
@@ -1775,72 +1918,79 @@ impl Simulator {
         // Early validation: a reused branch resolves *at decode*, with
         // zero resolution latency (Figure 4's reuse bars).
         if reused_branch {
-            let (taken, target) = self
-                .rob
-                .get(slot)
-                .and_then(|e| e.computed_ctrl)
-                .expect("reused branch has an outcome"); // vpir: allow(panic, dispatch_ir records computed_ctrl before marking a branch reused)
+            debug_assert!(
+                self.rob.ctrl_out.test(slot),
+                "dispatch_ir records computed_ctrl before marking a branch reused"
+            );
+            let (taken, target) = self.rob.computed_ctrl[slot];
             return self.act_on_branch(slot, taken, target, true);
         }
         false
     }
 
-    fn dispatch_vp(&mut self, entry: &mut RobEntry) {
-        let op = entry.inst.op;
+    fn dispatch_vp(&mut self, slot: usize) {
+        let inst = self.rob.inst[slot];
+        let out = self.rob.out[slot];
+        let pc = self.rob.pc[slot];
+        let op = inst.op;
         // Results: every register-writing, non-control instruction
         // (including loads — load value prediction).
-        let predictable = entry.inst.dst.is_some()
-            && entry.out.result.is_some()
+        let predictable = inst.dst.is_some()
+            && out.result.is_some()
             && !matches!(op.class(), OpClass::Jump | OpClass::JumpReg | OpClass::Misc);
         if predictable {
             if let Some(vp) = self.vp_result.as_mut() {
-                entry.predicted = vp.predict(entry.pc, entry.out.result);
+                self.rob.predicted[slot] = vp.predict(pc, out.result);
             }
-            if let Some(p) = entry.predicted {
-                entry.visible = Some(VisibleValue {
-                    value: p,
-                    since: self.now + 1,
-                });
+            if let Some(p) = self.rob.predicted[slot] {
+                self.rob.set_visible(slot, p, self.now + 1);
             }
         }
         // Addresses: loads whose result was not predicted and whose
         // address did not already come from the reuse buffer.
-        if entry.mem.as_ref().is_some_and(|m| m.is_load)
-            && entry.predicted.is_none()
-            && !entry.addr_reused
+        if self.rob.loads.test(slot)
+            && self.rob.predicted[slot].is_none()
+            && !self.rob.addr_reused.test(slot)
         {
             if let Some(vp) = self.vp_addr.as_mut() {
-                entry.addr_predicted = vp.predict(entry.pc, entry.out.addr);
+                self.rob.addr_predicted[slot] = vp.predict(pc, out.addr);
             }
         }
     }
 
-    fn dispatch_ir(&mut self, entry: &mut RobEntry, validation: Validation) {
-        let op = entry.inst.op;
+    fn dispatch_ir(&mut self, slot: usize, validation: Validation) {
+        let inst = self.rob.inst[slot];
+        let op = inst.op;
         match op.class() {
             OpClass::Misc | OpClass::Jump => return,
             _ => {}
         }
+        let out = self.rob.out[slot];
+        let pc = self.rob.pc[slot];
+        let src_values = self.rob.src_values[slot];
+        let producers = self.rob.producers[slot];
         // Build the operand view against current pipeline state.
         let mut views: [(Option<Reg>, OperandView); 2] = [(None, OperandView::default()); 2];
-        for (i, src) in [entry.inst.src1, entry.inst.src2].into_iter().enumerate() {
+        for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
-            let view = match entry.producers[i] {
-                None => OperandView::settled(entry.src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
-                Some((slot, pseq)) => match self.rob.get(slot) {
-                    Some(p) if p.seq == pseq => {
-                        let known = p.reused || p.nonspec(self.now);
+            let view = match producers[i] {
+                None => OperandView::settled(src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
+                Some((pslot, pseq)) => {
+                    if self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq {
+                        let known = self.rob.reused.test(pslot)
+                            || self.rob.nonspec_at(pslot, self.now);
                         if known {
                             OperandView::in_flight_known(
-                                p.pc,
-                                p.out.result.unwrap_or(0),
+                                self.rob.pc[pslot],
+                                self.rob.out[pslot].result.unwrap_or(0),
                             )
                         } else {
-                            OperandView::in_flight(p.pc)
+                            OperandView::in_flight(self.rob.pc[pslot])
                         }
+                    } else {
+                        OperandView::settled(src_values[i].expect("read at dispatch")) // vpir: allow(panic, operands without in-flight producers were read from the register file)
                     }
-                    _ => OperandView::settled(entry.src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
-                },
+                }
             };
             views[i] = (Some(reg), view);
         }
@@ -1857,15 +2007,14 @@ impl Simulator {
         // (their entries enable same-cycle chain reuse under SnD). At most
         // two operands, so a stack array stands in for the old Vec.
         let mut chain = [None, None];
-        for (i, p) in entry.producers.iter().enumerate() {
-            let Some((slot, pseq)) = p else { continue };
-            chain[i] = self.rob.get(*slot).and_then(|p| {
-                if p.seq == *pseq && p.reused {
-                    p.reuse_source
-                } else {
-                    None
-                }
-            });
+        for (i, p) in producers.iter().enumerate() {
+            let Some((pslot, pseq)) = p else { continue };
+            if self.rob.is_live(*pslot)
+                && self.rob.seq[*pslot] == *pseq
+                && self.rob.reused.test(*pslot)
+            {
+                chain[i] = self.rob.reuse_source[*pslot];
+            }
         }
         let [c0, c1] = chain;
         let backing;
@@ -1882,27 +2031,32 @@ impl Simulator {
         };
 
         let Some(rb) = self.rb.as_mut() else { return };
-        let Some(mut hit) = rb.lookup(entry.pc, op, &lookup_view, reused_now) else {
+        let Some(mut hit) = rb.lookup(pc, op, &lookup_view, reused_now) else {
             return;
         };
 
         // A reused load must still snoop older in-flight stores: if one
         // overlaps its address, the buffered value may be stale relative
-        // to this path — only the address computation is reusable.
+        // to this path — only the address computation is reusable. (The
+        // slot being dispatched is not yet visible to the store mask.)
         if hit.full && op.class() == OpClass::Load {
-            let laddr = entry.out.addr.expect("load address"); // vpir: allow(panic, functional execution computes an address for every load)
-            let lend = laddr + entry.mem.as_ref().expect("mem state").width.bytes(); // vpir: allow(panic, loads always carry mem state from dispatch)
-            let conflict = self.rob.slots_in_order().any(|s| {
-                self.rob.get(s).is_some_and(|older| {
-                    older.mem.as_ref().is_some_and(|m| {
-                        if m.is_load {
+            let laddr = out.addr.expect("load address"); // vpir: allow(panic, functional execution computes an address for every load)
+            let lend = laddr + self.rob.mem[slot].width.bytes();
+            let mut conflict = false;
+            let rob = &self.rob;
+            rob.for_each_masked(
+                |r, w| r.stores.words[w],
+                |s2| {
+                    let m = &rob.mem[s2];
+                    if let Some(a) = rob.out[s2].addr {
+                        if a < lend && laddr < a + m.width.bytes() {
+                            conflict = true;
                             return false;
                         }
-                        let Some(a) = older.out.addr else { return false };
-                        a < lend && laddr < a + m.width.bytes()
-                    })
-                })
-            });
+                    }
+                    true
+                },
+            );
             if conflict {
                 hit.full = false;
                 hit.result = None;
@@ -1912,74 +2066,65 @@ impl Simulator {
         // Guard: the reuse test is non-speculative, so a hit must agree
         // with the architectural truth for this dynamic instance.
         let sound = match op.class() {
-            OpClass::Branch => {
-                hit.result == entry.out.control.map(|c| c.taken as u64)
-            }
-            OpClass::JumpReg => hit.result == entry.out.control.map(|c| c.target),
+            OpClass::Branch => hit.result == out.control.map(|c| c.taken as u64),
+            OpClass::JumpReg => hit.result == out.control.map(|c| c.target),
             OpClass::Load | OpClass::Store => {
-                (!hit.full || hit.result == entry.out.result)
-                    && (hit.addr.is_none() || hit.addr == entry.out.addr)
+                (!hit.full || hit.result == out.result)
+                    && (hit.addr.is_none() || hit.addr == out.addr)
             }
-            _ => !hit.full || hit.result == entry.out.result,
+            _ => !hit.full || hit.result == out.result,
         };
-        debug_assert!(sound, "reuse test returned a wrong result for {:?}", entry.inst);
+        debug_assert!(sound, "reuse test returned a wrong result for {:?}", inst);
         if !sound {
             return;
         }
 
-        entry.reuse_source = Some(hit.entry);
+        self.rob.reuse_source[slot] = Some(hit.entry);
         match validation {
             Validation::Early => {
                 if hit.full {
-                    entry.reused = true;
-                    entry.nonspec_cycle = Some(self.now + 1);
-                    if let Some(v) = entry.out.result {
-                        entry.visible = Some(VisibleValue {
-                            value: v,
-                            since: self.now + 1,
-                        });
+                    self.rob.reused.set(slot);
+                    self.rob.set_nonspec(slot, self.now + 1);
+                    if let Some(v) = out.result {
+                        self.rob.set_visible(slot, v, self.now + 1);
                     }
                     // A reused branch resolves immediately at decode
                     // (early validation); `dispatch_one` acts on it.
-                    if entry.ctrl.is_some() {
-                        entry.computed_ctrl =
-                            entry.out.control.map(|c| (c.taken, c.target));
-                        entry.last_inputs_correct = true;
-                        entry.last_inputs_final = true;
+                    if self.rob.has_flag(slot, flag::HAS_CTRL) {
+                        if let Some(c) = out.control {
+                            self.rob.computed_ctrl[slot] = (c.taken, c.target);
+                            self.rob.ctrl_out.set(slot);
+                        }
+                        self.rob.assign_flag(slot, flag::LAST_CORRECT, true);
+                        self.rob.assign_flag(slot, flag::LAST_FINAL, true);
                     }
                 } else if hit.addr.is_some() {
-                    entry.addr_reused = true;
-                    if let Some(mem) = entry.mem.as_mut() {
+                    self.rob.addr_reused.set(slot);
+                    if self.rob.has_flag(slot, flag::HAS_MEM) {
+                        let mem = &mut self.rob.mem[slot];
                         mem.computed_addr = hit.addr;
                         mem.addr_known = Some(self.now + 1);
                     }
-                    if entry.mem.as_ref().is_some_and(|m| !m.is_load) {
+                    if self.rob.stores.test(slot) {
                         // Stores: the address half is done.
-                        entry.nonspec_cycle = Some(self.now + 1);
-                        entry.last_inputs_correct = true;
-                        entry.last_inputs_final = true;
-                    } else {
-                        entry.last_inputs_final = true;
-                        entry.last_inputs_correct = true;
+                        self.rob.set_nonspec(slot, self.now + 1);
                     }
+                    self.rob.assign_flag(slot, flag::LAST_CORRECT, true);
+                    self.rob.assign_flag(slot, flag::LAST_FINAL, true);
                 }
             }
             Validation::Late => {
                 // Figure 3 "late": treat the reuse as a (always correct)
                 // value prediction — the instruction still executes.
                 if hit.full {
-                    if let Some(v) = entry.out.result {
-                        entry.predicted = Some(v);
-                        entry.visible = Some(VisibleValue {
-                            value: v,
-                            since: self.now + 1,
-                        });
+                    if let Some(v) = out.result {
+                        self.rob.predicted[slot] = Some(v);
+                        self.rob.set_visible(slot, v, self.now + 1);
                     }
-                    entry.reused = false;
-                    entry.late_reused = true;
+                    self.rob.assign_flag(slot, flag::LATE_REUSED, true);
                 } else if hit.addr.is_some() {
-                    entry.addr_predicted = hit.addr;
-                    entry.late_reused = true;
+                    self.rob.addr_predicted[slot] = hit.addr;
+                    self.rob.assign_flag(slot, flag::LATE_REUSED, true);
                 }
             }
         }
@@ -2085,11 +2230,10 @@ impl Simulator {
     }
 }
 
-impl RobEntry {
-    fn inst_src(&self, i: usize) -> Option<Reg> {
-        match i {
-            0 => self.inst.src1,
-            _ => self.inst.src2,
-        }
+/// Source register `i` (0 or 1) of an instruction.
+fn inst_src(inst: &Inst, i: usize) -> Option<Reg> {
+    match i {
+        0 => inst.src1,
+        _ => inst.src2,
     }
 }

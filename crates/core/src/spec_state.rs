@@ -7,6 +7,8 @@
 //! Rollback is implemented with undo logs keyed by dynamic sequence
 //! number rather than full checkpoints.
 
+use std::collections::VecDeque;
+
 use vpir_isa::{MemImage, MemWidth, Reg, RegFile};
 
 /// One undo record for a register write.
@@ -45,8 +47,12 @@ struct MemUndo {
 pub struct SpecState {
     regs: RegFile,
     mem: MemImage,
-    reg_log: Vec<RegUndo>,
-    mem_log: Vec<MemUndo>,
+    // Undo records are pushed in dispatch order, so each log is sorted
+    // by `seq`: rollback pops from the back, retirement drains from the
+    // front — both O(1) per record on a deque (`retain` on a Vec was
+    // O(len) per commit).
+    reg_log: VecDeque<RegUndo>,
+    mem_log: VecDeque<MemUndo>,
 }
 
 impl SpecState {
@@ -60,8 +66,8 @@ impl SpecState {
         SpecState {
             regs,
             mem,
-            reg_log: Vec::new(),
-            mem_log: Vec::new(),
+            reg_log: VecDeque::new(),
+            mem_log: VecDeque::new(),
         }
     }
 
@@ -80,7 +86,7 @@ impl SpecState {
         if reg.is_zero() {
             return;
         }
-        self.reg_log.push(RegUndo {
+        self.reg_log.push_back(RegUndo {
             seq,
             reg,
             old: self.regs.read(reg),
@@ -90,7 +96,7 @@ impl SpecState {
 
     /// Performs a store on behalf of the instruction with sequence `seq`.
     pub fn write_mem(&mut self, seq: u64, addr: u64, width: MemWidth, value: u64) {
-        self.mem_log.push(MemUndo {
+        self.mem_log.push_back(MemUndo {
             seq,
             addr,
             width,
@@ -101,10 +107,12 @@ impl SpecState {
 
     /// Undoes every write performed by instructions with `seq > keep_seq`.
     pub fn rollback_to(&mut self, keep_seq: u64) {
-        while let Some(u) = self.reg_log.pop_if(|u| u.seq > keep_seq) {
+        while self.reg_log.back().is_some_and(|u| u.seq > keep_seq) {
+            let u = self.reg_log.pop_back().expect("checked non-empty"); // vpir: allow(panic, back() was Some on the line above)
             self.regs.write(u.reg, u.old);
         }
-        while let Some(u) = self.mem_log.pop_if(|u| u.seq > keep_seq) {
+        while self.mem_log.back().is_some_and(|u| u.seq > keep_seq) {
+            let u = self.mem_log.pop_back().expect("checked non-empty"); // vpir: allow(panic, back() was Some on the line above)
             self.mem.write(u.addr, u.width, u.old);
         }
     }
@@ -113,8 +121,12 @@ impl SpecState {
     /// committed and can no longer be rolled back). Keeps the logs from
     /// growing without bound.
     pub fn retire_upto(&mut self, upto: u64) {
-        self.reg_log.retain(|u| u.seq > upto);
-        self.mem_log.retain(|u| u.seq > upto);
+        while self.reg_log.front().is_some_and(|u| u.seq <= upto) {
+            self.reg_log.pop_front();
+        }
+        while self.mem_log.front().is_some_and(|u| u.seq <= upto) {
+            self.mem_log.pop_front();
+        }
     }
 
     /// Outstanding undo records (diagnostics).

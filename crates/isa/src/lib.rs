@@ -55,7 +55,7 @@ mod semantics;
 
 pub use inst::Inst;
 pub use machine::{Machine, MachineError, StepEvent};
-pub use mem_image::{LoadSource, MemImage};
+pub use mem_image::{IntHasher, IntMap, LoadSource, MemImage};
 pub use op::{FuClass, MemWidth, Op, OpClass};
 pub use program::{Program, SrcLoc, DATA_BASE, INST_BYTES, STACK_TOP, TEXT_BASE};
 pub use reg::{Reg, RegFile, FP_BASE, NUM_REGS};

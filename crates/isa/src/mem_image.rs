@@ -1,12 +1,44 @@
 //! Byte-addressable sparse memory image.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::op::MemWidth;
 
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A multiplicative hasher for integer keys (Fibonacci hashing).
+///
+/// The simulator's internal maps key on page numbers and PCs — already
+/// well-distributed integers never exposed to untrusted input — so
+/// SipHash's DoS resistance buys nothing, and several of these maps sit
+/// on the critical path of every simulated load, store, and commit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys, kept total for safety).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// A `HashMap` keyed by integers, hashed with [`IntHasher`].
+pub type IntMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
+
+type PageMap = IntMap<u64, Box<[u8; PAGE_SIZE]>>;
 
 /// A sparse, paged, little-endian, byte-addressable memory.
 ///
@@ -26,7 +58,7 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemImage {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageMap,
 }
 
 impl MemImage {
@@ -59,9 +91,21 @@ impl MemImage {
 
     /// Reads `width` bytes at `addr`, little-endian, zero-extended to 64 bits.
     pub fn read(&self, addr: u64, width: MemWidth) -> u64 {
-        let n = width.bytes();
+        let n = width.bytes() as usize;
+        let off = (addr & PAGE_MASK) as usize;
+        // Fast path: the access stays inside one page — one map probe.
+        if off + n <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+        }
         let mut v: u64 = 0;
-        for i in 0..n {
+        for i in 0..n as u64 {
             v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
         }
         v
@@ -69,7 +113,18 @@ impl MemImage {
 
     /// Writes the low `width` bytes of `v` at `addr`, little-endian.
     pub fn write(&mut self, addr: u64, width: MemWidth, v: u64) {
-        for i in 0..width.bytes() {
+        let n = width.bytes() as usize;
+        let off = (addr & PAGE_MASK) as usize;
+        // Fast path: the access stays inside one page — one map probe.
+        if off + n <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            page[off..off + n].copy_from_slice(&v.to_le_bytes()[..n]);
+            return;
+        }
+        for i in 0..n as u64 {
             self.write_u8(addr.wrapping_add(i), (v >> (8 * i)) as u8);
         }
     }

@@ -103,7 +103,15 @@ struct Mshr {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways in one flat array; set `s` is the contiguous slice
+    /// `[s * assoc, (s + 1) * assoc)`.
+    ways: Vec<Way>,
+    /// `log2(line_bytes)` — the line size is validated a power of two.
+    line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// geometry), letting `set_of` mask instead of divide; `None` falls
+    /// back to modulo.
+    set_mask: Option<u64>,
     mshrs: Vec<Mshr>,
     stats: CacheStats,
     tick: u64,
@@ -122,17 +130,19 @@ impl Cache {
         assert!(config.sets() > 0, "capacity must hold at least one set");
         Cache {
             config,
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        valid: false,
-                        lru: 0
-                    };
-                    config.assoc
-                ];
-                config.sets()
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    lru: 0
+                };
+                config.sets() * config.assoc
             ],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config
+                .sets()
+                .is_power_of_two()
+                .then(|| config.sets() as u64 - 1),
             mshrs: Vec::new(),
             stats: CacheStats::default(),
             tick: 0,
@@ -150,11 +160,23 @@ impl Cache {
     }
 
     fn line_of(&self, addr: u64) -> u64 {
-        addr / self.config.line_bytes as u64
+        addr >> self.line_shift
     }
 
     fn set_of(&self, line: u64) -> usize {
-        (line % self.config.sets() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.config.sets() as u64) as usize,
+        }
+    }
+
+    fn set(&self, set: usize) -> &[Way] {
+        &self.ways[set * self.config.assoc..][..self.config.assoc]
+    }
+
+    fn set_mut(&mut self, set: usize) -> &mut [Way] {
+        let assoc = self.config.assoc;
+        &mut self.ways[set * assoc..][..assoc]
     }
 
     /// Accesses `addr` at `now`; returns when the data is ready.
@@ -170,8 +192,9 @@ impl Cache {
         let tag = line;
         self.mshrs.retain(|m| m.ready_cycle > now);
 
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.lru = self.tick;
+        let tick = self.tick;
+        if let Some(way) = self.set_mut(set).iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = tick;
             // A hit on a line whose fill is still in flight completes with
             // the fill, not before.
             if let Some(m) = self.mshrs.iter().find(|m| m.line == line) {
@@ -204,13 +227,14 @@ impl Cache {
         };
         self.mshrs.push(Mshr { line, ready_cycle });
 
-        let victim = self.sets[set]
+        let victim = self
+            .set_mut(set)
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
         victim.tag = tag;
         victim.valid = true;
-        victim.lru = self.tick;
+        victim.lru = tick;
 
         AccessOutcome {
             hit: false,
@@ -222,15 +246,13 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set = self.set_of(line);
-        self.sets[set].iter().any(|w| w.valid && w.tag == line)
+        self.set(set).iter().any(|w| w.valid && w.tag == line)
     }
 
     /// Invalidates every line and drops outstanding misses.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.valid = false;
-            }
+        for way in &mut self.ways {
+            way.valid = false;
         }
         self.mshrs.clear();
     }

@@ -80,19 +80,11 @@ impl MagicPredictor {
 
 impl ValuePredictor for MagicPredictor {
     fn predict(&mut self, pc: u64, oracle: Option<u64>) -> Option<u64> {
-        let confident = self.table.confident_values(pc);
-        if confident.is_empty() {
-            self.table.note_lookup(false);
-            return None;
-        }
-        self.table.note_lookup(true);
-        // Oracle selection among stored values (Section 4.1.1).
-        if let Some(correct) = oracle {
-            if confident.contains(&correct) {
-                return Some(correct);
-            }
-        }
-        confident.first().copied() // most confident (ties by recency)
+        // Oracle selection among stored values (Section 4.1.1), done in
+        // one allocation-free pass over the set.
+        let selected = self.table.select_confident(pc, oracle);
+        self.table.note_lookup(selected.is_some());
+        selected
     }
 
     fn train(&mut self, pc: u64, actual: u64) {

@@ -62,10 +62,17 @@ const EMPTY_WAY: VptWay = VptWay {
 /// One instruction (PC) may occupy several ways of its set — that is how
 /// `VP_Magic` stores multiple unique values. [`VptTable::train_last`]
 /// enforces the single-instance discipline of `VP_LVP` instead.
+///
+/// Storage is one flat `Vec<VptWay>`; set `s` occupies the contiguous
+/// slice `[s * assoc, (s + 1) * assoc)`. A lookup touches exactly one
+/// cache-friendly stripe and never allocates.
 #[derive(Debug, Clone)]
 pub struct VptTable {
     config: VptConfig,
-    sets: Vec<Vec<VptWay>>,
+    ways: Vec<VptWay>,
+    /// `sets - 1` when the set count is a power of two, letting
+    /// `set_of` mask instead of divide.
+    set_mask: Option<u64>,
     stats: VptStats,
     tick: u64,
 }
@@ -84,7 +91,11 @@ impl VptTable {
         );
         VptTable {
             config,
-            sets: vec![vec![EMPTY_WAY; config.assoc]; config.sets()],
+            ways: vec![EMPTY_WAY; config.entries],
+            set_mask: config
+                .sets()
+                .is_power_of_two()
+                .then(|| config.sets() as u64 - 1),
             stats: VptStats::default(),
             tick: 0,
         }
@@ -101,7 +112,21 @@ impl VptTable {
     }
 
     fn set_of(&self, pc: u64) -> usize {
-        ((pc >> 2) % self.config.sets() as u64) as usize
+        match self.set_mask {
+            Some(mask) => ((pc >> 2) & mask) as usize,
+            None => ((pc >> 2) % self.config.sets() as u64) as usize,
+        }
+    }
+
+    fn set(&self, pc: u64) -> &[VptWay] {
+        let start = self.set_of(pc) * self.config.assoc;
+        &self.ways[start..start + self.config.assoc]
+    }
+
+    fn set_mut(&mut self, pc: u64) -> &mut [VptWay] {
+        let start = self.set_of(pc) * self.config.assoc;
+        let assoc = self.config.assoc;
+        &mut self.ways[start..start + assoc]
     }
 
     /// Records a lookup (and whether it produced a prediction).
@@ -115,21 +140,50 @@ impl VptTable {
     /// All confident values stored for `pc`, most confident first
     /// (ties broken towards most recently used).
     pub fn confident_values(&self, pc: u64) -> Vec<u64> {
-        let set = &self.sets[self.set_of(pc)];
-        let mut hits: Vec<&VptWay> = set
+        let threshold = self.config.confidence_threshold;
+        let mut hits: Vec<&VptWay> = self
+            .set(pc)
             .iter()
-            .filter(|w| {
-                w.valid && w.tag == pc && w.confidence >= self.config.confidence_threshold
-            })
+            .filter(|w| w.valid && w.tag == pc && w.confidence >= threshold)
             .collect();
         hits.sort_by(|a, b| b.confidence.cmp(&a.confidence).then(b.lru.cmp(&a.lru)));
         hits.iter().map(|w| w.value).collect()
     }
 
+    /// Oracle selection over the confident values stored for `pc`,
+    /// without materializing them (`VP_Magic`'s lookup): the correct
+    /// value if stored and confident, else the most confident stored
+    /// value (ties towards most recently used), else `None`.
+    ///
+    /// Equivalent to checking [`Self::confident_values`] for `oracle`
+    /// and falling back to its first element, minus the allocation.
+    pub fn select_confident(&self, pc: u64, oracle: Option<u64>) -> Option<u64> {
+        let threshold = self.config.confidence_threshold;
+        let mut best: Option<&VptWay> = None;
+        let mut oracle_stored = false;
+        for w in self.set(pc) {
+            if !(w.valid && w.tag == pc && w.confidence >= threshold) {
+                continue;
+            }
+            if Some(w.value) == oracle {
+                oracle_stored = true;
+            }
+            // `lru` ticks are unique, so (confidence, lru) totally orders
+            // the ways of a set — the max is the sort's first element.
+            if !best.is_some_and(|b| (b.confidence, b.lru) >= (w.confidence, w.lru)) {
+                best = Some(w);
+            }
+        }
+        if oracle_stored {
+            return oracle;
+        }
+        best.map(|w| w.value)
+    }
+
     /// The single stored value for `pc` if it is confident (LVP lookup).
     pub fn last_confident_value(&self, pc: u64) -> Option<u64> {
-        let set = &self.sets[self.set_of(pc)];
-        set.iter()
+        self.set(pc)
+            .iter()
             .find(|w| w.valid && w.tag == pc)
             .filter(|w| w.confidence >= self.config.confidence_threshold)
             .map(|w| w.value)
@@ -142,8 +196,7 @@ impl VptTable {
         self.stats.trainings += 1;
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(pc);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(pc);
 
         if let Some(way) = set
             .iter_mut()
@@ -163,7 +216,7 @@ impl VptTable {
         {
             way.confidence = way.confidence.saturating_sub(1);
         }
-        self.allocate(set_idx, pc, actual);
+        self.allocate(pc, actual);
     }
 
     /// Single-instance training (`VP_LVP`): one way per PC; a changed
@@ -172,8 +225,7 @@ impl VptTable {
         self.stats.trainings += 1;
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(pc);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(pc);
 
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == pc) {
             if way.value == actual {
@@ -187,16 +239,17 @@ impl VptTable {
             way.lru = tick;
             return;
         }
-        self.allocate(set_idx, pc, actual);
+        self.allocate(pc, actual);
     }
 
-    fn allocate(&mut self, set_idx: usize, pc: u64, value: u64) {
+    fn allocate(&mut self, pc: u64, value: u64) {
         self.stats.allocations += 1;
         let tick = self.tick;
-        let way = self.sets[set_idx]
+        let way = self
+            .set_mut(pc)
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
+            .expect("assoc > 0"); // vpir: allow(panic, a set is non-empty: assoc is validated positive at construction)
         *way = VptWay {
             tag: pc,
             value,
@@ -208,7 +261,7 @@ impl VptTable {
 
     /// Number of valid instances currently stored for `pc`.
     pub fn instances(&self, pc: u64) -> usize {
-        self.sets[self.set_of(pc)]
+        self.set(pc)
             .iter()
             .filter(|w| w.valid && w.tag == pc)
             .count()

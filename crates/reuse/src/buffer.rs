@@ -230,6 +230,9 @@ fn mem_bucket(block: u64) -> usize {
 #[derive(Debug, Clone)]
 pub struct ReuseBuffer {
     config: RbConfig,
+    /// `sets - 1` when the set count is a power of two, letting
+    /// `set_of` mask instead of divide.
+    set_mask: Option<u64>,
     slots: Vec<Slot>,
     /// Register → slots whose entries name that register as an operand.
     reg_index: Vec<SlotSet>,
@@ -254,6 +257,10 @@ impl ReuseBuffer {
         );
         ReuseBuffer {
             config,
+            set_mask: config
+                .sets()
+                .is_power_of_two()
+                .then(|| config.sets() as u64 - 1),
             slots: vec![Slot::default(); config.entries],
             reg_index: vec![SlotSet::new(config.entries); NUM_REGS],
             mem_index: vec![SlotSet::new(config.entries); MEM_BUCKETS],
@@ -273,7 +280,10 @@ impl ReuseBuffer {
     }
 
     fn set_of(&self, pc: u64) -> usize {
-        ((pc >> 2) % self.config.sets() as u64) as usize
+        match self.set_mask {
+            Some(mask) => ((pc >> 2) & mask) as usize,
+            None => ((pc >> 2) % self.config.sets() as u64) as usize,
+        }
     }
 
     fn set_slots(&self, pc: u64) -> std::ops::Range<usize> {

@@ -9,24 +9,31 @@
 //! so it preserves the deterministic (R1) iteration order of the
 //! `BTreeSet` it replaces while doing zero steady-state allocation.
 
-/// A set of slot indexes in `0..capacity`, stored as a flat bitmap.
+/// A set of slot indexes in `0..capacity`, stored as a flat bitmap with
+/// a one-level summary (bit `w` of the summary is set iff `words[w]` is
+/// non-zero), so iterating a sparse set skips its empty words.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct SlotSet {
     words: Vec<u64>,
+    summary: Vec<u64>,
 }
 
 impl SlotSet {
     /// An empty set able to hold indexes in `0..capacity`.
     pub(crate) fn new(capacity: usize) -> SlotSet {
+        let words = capacity.div_ceil(64);
         SlotSet {
-            words: vec![0; capacity.div_ceil(64)],
+            words: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
         }
     }
 
     /// Adds `slot` to the set.
     pub(crate) fn insert(&mut self, slot: u32) {
-        if let Some(w) = self.words.get_mut((slot >> 6) as usize) {
+        let wi = (slot >> 6) as usize;
+        if let Some(w) = self.words.get_mut(wi) {
             *w |= 1u64 << (slot & 63);
+            self.summary[wi >> 6] |= 1u64 << (wi & 63);
         } else {
             debug_assert!(false, "slot {slot} beyond SlotSet capacity");
         }
@@ -34,8 +41,12 @@ impl SlotSet {
 
     /// Removes `slot` from the set (a no-op if absent).
     pub(crate) fn remove(&mut self, slot: u32) {
-        if let Some(w) = self.words.get_mut((slot >> 6) as usize) {
+        let wi = (slot >> 6) as usize;
+        if let Some(w) = self.words.get_mut(wi) {
             *w &= !(1u64 << (slot & 63));
+            if *w == 0 {
+                self.summary[wi >> 6] &= !(1u64 << (wi & 63));
+            }
         }
     }
 
@@ -49,10 +60,17 @@ impl SlotSet {
 
     /// The members in ascending order (matching `BTreeSet` iteration).
     pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| BitIter {
-            word,
-            base: (wi as u32) << 6,
-        })
+        self.summary
+            .iter()
+            .enumerate()
+            .flat_map(|(si, &sw)| BitIter {
+                word: sw,
+                base: (si as u32) << 6,
+            })
+            .flat_map(|wi| BitIter {
+                word: self.words[wi as usize],
+                base: wi << 6,
+            })
     }
 }
 

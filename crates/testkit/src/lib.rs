@@ -16,8 +16,15 @@
 //! differential runs of the same instruction stream through different
 //! machine configurations, and any hidden entropy (hash seeds, OS
 //! randomness) would make those comparisons unrepeatable.
+//!
+//! The crate also hosts [`CountingAlloc`], the test-only allocator the
+//! zero-allocation steady-state tests install to prove the hot loop
+//! stays off the heap. It is the single place the workspace touches
+//! `unsafe` (implementing [`std::alloc::GlobalAlloc`] requires it), so
+//! the crate-level lint is `deny` with one scoped, justified allow
+//! rather than `forbid`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -169,6 +176,112 @@ where
         eprintln!("property `{name}` failed at case {case} (seed {seed:#018x})");
         eprintln!("reproduce with: vpir_testkit::check_seed(\"{name}\", {seed:#018x}, ..)");
         resume_unwind(payload);
+    }
+}
+
+/// A counting wrapper around the system allocator for zero-allocation
+/// assertions.
+///
+/// Install it as the test binary's `#[global_allocator]`, snapshot
+/// [`CountingAlloc::allocations`] around the region under test, and
+/// assert the delta. Counters are monotonic (snapshot-and-subtract, no
+/// reset) so concurrent tests in one binary can't clobber each other's
+/// zero point.
+///
+/// # Examples
+///
+/// ```
+/// use vpir_testkit::CountingAlloc;
+///
+/// #[global_allocator]
+/// static ALLOC: CountingAlloc = CountingAlloc::new();
+///
+/// let before = ALLOC.allocations();
+/// let sum: u64 = (0u64..64).sum(); // pure arithmetic: no heap traffic
+/// assert_eq!(sum, 2016);
+/// assert_eq!(ALLOC.allocations() - before, 0);
+/// ```
+#[derive(Debug)]
+pub struct CountingAlloc {
+    allocations: core::sync::atomic::AtomicU64,
+    deallocations: core::sync::atomic::AtomicU64,
+    allocated_bytes: core::sync::atomic::AtomicU64,
+}
+
+impl CountingAlloc {
+    /// Creates a zeroed counter (const, so it can be a `static`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocations: core::sync::atomic::AtomicU64::new(0),
+            deallocations: core::sync::atomic::AtomicU64::new(0),
+            allocated_bytes: core::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Heap allocations observed so far (`alloc`, `alloc_zeroed`, and
+    /// growing `realloc` calls each count once).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Deallocations observed so far.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocations.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total bytes requested across all counted allocations.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(core::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// The one unsafe impl in the workspace: `GlobalAlloc` is an unsafe
+// trait by definition. The implementation adds only relaxed atomic
+// increments around direct calls to `std::alloc::System`, upholding
+// the trait contract by pure delegation.
+#[allow(unsafe_code)]
+mod counting_alloc_impl {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::Ordering;
+
+    use super::CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            self.allocated_bytes
+                .fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            self.deallocations.fetch_add(1, Ordering::Relaxed);
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            self.allocated_bytes
+                .fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A realloc moves or resizes an existing block: count it as
+            // fresh heap traffic (one allocation, the new size in
+            // bytes) — for a zero-allocation assertion any realloc is
+            // just as disqualifying as a malloc.
+            self.allocations.fetch_add(1, Ordering::Relaxed);
+            self.allocated_bytes
+                .fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 //! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
 //!            [--bench NAME] [--dump-dir DIR] [--resume]
 //!            [--inject-fault <bench>/<config>[:panic|:wedge]]
+//! vpir bench --cycle-rate [--baseline PATH] [--gate-pct N] [--out PATH]
 //! vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!
 //! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
@@ -19,6 +20,11 @@
 //! `bench` exits nonzero when any matrix cell fails, summarizing each
 //! failed cell; with `--dump-dir` the per-job results and failure dumps
 //! persist, and `--resume` re-executes only the missing or failed cells.
+//!
+//! `bench --cycle-rate` writes a focused `BENCH_cycles.json` cycles/sec
+//! record; with `--baseline` it exits nonzero when the measured rate
+//! regresses more than `--gate-pct` percent (default 10) below the
+//! committed baseline.
 //!
 //! `serve` prints the bound address on stdout (so scripts can discover
 //! an ephemeral port) and runs until `POST /v1/shutdown` arrives.
@@ -38,7 +44,9 @@ use vpir::core::{
     VpConfig, VpKind,
 };
 use vpir::bench::matrix::{config_labels, InjectFault, MatrixConfig, RunOptions};
-use vpir::bench::perf::{run_matrix_timed_opts, validate_json, REQUIRED_KEYS};
+use vpir::bench::perf::{
+    measure_cycle_rate, run_matrix_timed_opts, validate_json, CYCLES_REQUIRED_KEYS, REQUIRED_KEYS,
+};
 use vpir::isa::{asm, image, Program};
 use vpir::isa_analyze::{analyze_program, cross_validate, REQUIRED_KEYS as ANALYZE_KEYS};
 use vpir::redundancy::{analyze, analyze_per_pc, LimitConfig};
@@ -54,6 +62,7 @@ fn usage() -> ExitCode {
          vpir analyze-isa <prog.s|prog.vpir|--all-workloads> [--format text|json] [--insts N]\n  \
          vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
          \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n  \
+         vpir bench --cycle-rate [--baseline PATH] [--gate-pct N] [--out PATH]\n  \
          vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\n\
          machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
          \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
@@ -244,14 +253,29 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut cfg = MatrixConfig::quick();
     let mut jobs = 0usize; // 0 = available parallelism
-    let mut out_path = "BENCH_matrix.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut compare_sequential = false;
     let mut benches: Vec<Bench> = Bench::ALL.to_vec();
     let mut opts = RunOptions::default();
+    let mut cycle_rate = false;
+    let mut baseline_path: Option<String> = None;
+    let mut gate_pct: u64 = 10;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => cfg = MatrixConfig::experiment(),
+            "--cycle-rate" => cycle_rate = true,
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).cloned().ok_or("--baseline needs a path")?);
+            }
+            "--gate-pct" => {
+                i += 1;
+                gate_pct = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--gate-pct needs a number")?;
+            }
             "--scale" => {
                 i += 1;
                 let n: u32 = args
@@ -269,7 +293,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 i += 1;
-                out_path = args.get(i).cloned().ok_or("--out needs a path")?;
+                out_path = Some(args.get(i).cloned().ok_or("--out needs a path")?);
             }
             "--compare-sequential" => compare_sequential = true,
             "--bench" => {
@@ -322,7 +346,28 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if opts.resume && opts.dump_dir.is_none() {
         return Err("--resume requires --dump-dir".into());
     }
+    if baseline_path.is_some() && !cycle_rate {
+        return Err("--baseline requires --cycle-rate".into());
+    }
 
+    if cycle_rate {
+        let out_path = out_path.unwrap_or_else(|| "BENCH_cycles.json".to_string());
+        let rate = measure_cycle_rate(&benches, cfg, jobs)?;
+        let json = rate.to_json();
+        validate_json(&json, CYCLES_REQUIRED_KEYS)
+            .map_err(|e| format!("emitted JSON failed self-validation: {e}"))?;
+        fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+        println!("{}", rate.summary());
+        println!("wrote {out_path}");
+        if let Some(baseline) = baseline_path {
+            let text = fs::read_to_string(&baseline).map_err(|e| format!("{baseline}: {e}"))?;
+            let verdict = rate.gate(&text, gate_pct)?;
+            println!("{verdict}");
+        }
+        return Ok(());
+    }
+
+    let out_path = out_path.unwrap_or_else(|| "BENCH_matrix.json".to_string());
     let (outcome, perf) = run_matrix_timed_opts(&benches, cfg, jobs, compare_sequential, &opts);
     let json = perf.to_json();
     validate_json(&json, REQUIRED_KEYS)

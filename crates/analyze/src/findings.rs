@@ -24,6 +24,13 @@ pub enum Rule {
     WallClock,
     /// R7 — cycle-level hot state must be columnar, not `Vec<Option<…>>`.
     Columnar,
+    /// R8 — entry-point call trees must be transitively panic-free.
+    PanicReach,
+    /// R9 — spawned closures must not race on shared mutable captures,
+    /// and control-flow atomics must not use `Ordering::Relaxed`.
+    Concurrency,
+    /// R10 — the lock-acquisition graph must be acyclic.
+    LockOrder,
     /// L1 — guest basic block unreachable from the entry point.
     Unreachable,
     /// L2 — guest register read before any write reaches it.
@@ -45,6 +52,9 @@ impl Rule {
             Rule::Counter => "R5",
             Rule::WallClock => "R6",
             Rule::Columnar => "R7",
+            Rule::PanicReach => "R8",
+            Rule::Concurrency => "R9",
+            Rule::LockOrder => "R10",
             Rule::Unreachable => "L1",
             Rule::UninitRead => "L2",
             Rule::BadTarget => "L3",
@@ -62,6 +72,9 @@ impl Rule {
             Rule::Counter => "counter",
             Rule::WallClock => "wallclock",
             Rule::Columnar => "columnar",
+            Rule::PanicReach => "panic-reach",
+            Rule::Concurrency => "concurrency",
+            Rule::LockOrder => "lock-order",
             Rule::Unreachable => "unreachable",
             Rule::UninitRead => "uninit-read",
             Rule::BadTarget => "bad-target",
@@ -99,11 +112,29 @@ impl Finding {
     }
 }
 
+/// A positive result from an interprocedural pass: what was *proven*
+/// (or assumed), not just what was flagged. R8 emits one per analyzed
+/// entry point so "no findings" is distinguishable from "not checked".
+#[derive(Debug, Clone)]
+pub struct ProofNote {
+    /// The emitting rule (`R8`).
+    pub rule: Rule,
+    /// The qualified root the proof covers (`Simulator::run_checked`).
+    pub root: String,
+    /// One-line verdict.
+    pub summary: String,
+    /// Residual obligations: unresolved may-call edges, assumption
+    /// counts — everything the proof is conditional on.
+    pub details: Vec<String>,
+}
+
 /// The result of analyzing one source tree.
 #[derive(Debug, Default)]
 pub struct Report {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Proof notes from the interprocedural passes.
+    pub proofs: Vec<ProofNote>,
 }
 
 impl Report {
@@ -155,6 +186,12 @@ impl Report {
                 );
             }
         }
+        for p in &self.proofs {
+            let _ = writeln!(out, "  proof {} {}: {}", p.rule.id(), p.root, p.summary);
+            for d in &p.details {
+                let _ = writeln!(out, "    - {d}");
+            }
+        }
         out
     }
 
@@ -185,6 +222,26 @@ impl Report {
                 }
                 None => out.push('}'),
             }
+        }
+        out.push_str("],\"proofs\":[");
+        for (i, p) in self.proofs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"root\":\"{}\",\"summary\":\"{}\",\"details\":[",
+                p.rule.id(),
+                escape(&p.root),
+                escape(&p.summary)
+            );
+            for (j, d) in p.details.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", escape(d));
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -230,6 +287,7 @@ mod tests {
         let report = Report {
             findings: vec![finding(Rule::Panic, None), finding(Rule::Panic, Some("ok"))],
             files_scanned: 1,
+            proofs: Vec::new(),
         };
         assert_eq!(report.live().count(), 1);
         assert_eq!(report.suppressed().count(), 1);
@@ -240,6 +298,7 @@ mod tests {
         let report = Report {
             findings: vec![finding(Rule::Determinism, None)],
             files_scanned: 3,
+            proofs: Vec::new(),
         };
         let json = report.to_json();
         assert!(json.contains("\\\"quotes\\\""));
@@ -252,6 +311,7 @@ mod tests {
         let report = Report {
             findings: vec![finding(Rule::Counter, Some("legacy"))],
             files_scanned: 2,
+            proofs: Vec::new(),
         };
         let text = report.to_text();
         assert!(text.contains("0 finding(s), 1 suppressed"));

@@ -174,8 +174,17 @@ fn blank(source: &str) -> Vec<(String, Option<Allow>)> {
             }
             Mode::Str => {
                 if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
+                    // A backslash escapes exactly one character — unless
+                    // that character is a newline (a multi-line string
+                    // continuation), which must survive so the blanked
+                    // output keeps the original line structure.
+                    if at(i + 1) == Some('\n') {
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '"' {
                     out.push('"');
                     i += 1;
@@ -209,8 +218,15 @@ fn blank(source: &str) -> Vec<(String, Option<Allow>)> {
             }
             Mode::Char => {
                 if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
+                    // Same newline care as Mode::Str: a stray escape at
+                    // end of line must not swallow the line break.
+                    if at(i + 1) == Some('\n') {
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '\'' {
                     out.push('\'');
                     i += 1;
@@ -369,6 +385,51 @@ mod tests {
         let lines = scan("let s = r#\"panic! \"# ; let t = 1;\n");
         assert!(!lines[0].code.contains("panic"));
         assert!(lines[0].code.contains("let t"));
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_numbers_aligned() {
+        // The `\` before the newline is a multi-line string
+        // continuation; the newline must survive blanking or every
+        // later finding would anchor one line off.
+        let src = "let s = \"one \\\n    two\";\nx.unwrap();\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].code.contains("one"));
+        assert!(!lines[1].code.contains("two"));
+        assert!(lines[2].code.contains(".unwrap()"));
+        assert_eq!(lines[2].number, 3);
+    }
+
+    #[test]
+    fn multiline_strings_do_not_leak_tokens() {
+        let src = "let s = \"line one\npanic!() HashMap\nstill string\";\nlet t = 1;\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("panic"));
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(!lines[2].code.contains("still"));
+        assert!(lines[3].code.contains("let t"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_do_not_leak_tokens() {
+        let src = "let s = r#\"first\nx.unwrap() \"quoted\"\nlast\"#;\nlet after = 2;\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[1].code.contains("unwrap"));
+        // The interior `\"quoted\"` must not terminate the raw string.
+        assert!(!lines[2].code.contains("last"));
+        assert!(lines[3].code.contains("let after"));
+    }
+
+    #[test]
+    fn nested_block_comments_spanning_lines_do_not_leak() {
+        let src = "a /* outer\n/* inner\nx.expect(\"no\")\n*/ still outer\n*/ b\n";
+        let lines = scan(src);
+        assert_eq!(lines.len(), 5);
+        assert!(!lines[2].code.contains("expect"));
+        assert!(!lines[3].code.contains("still"));
+        assert!(lines[4].code.contains('b'));
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! exits nonzero when any unsuppressed finding remains, which is what
 //! makes it usable as a CI gate.
 
+pub mod callgraph;
 pub mod findings;
+pub mod items;
 pub mod lexer;
+pub mod passes;
 pub mod rules;
+pub mod sarif;
 
 use std::fs;
 use std::io;
@@ -41,6 +45,13 @@ pub fn analyze_root(root: &Path) -> io::Result<Report> {
             format!("{} is not a directory", root.display()),
         ));
     }
+    let files = scan_workspace(root)?;
+    Ok(analyze_files(&files))
+}
+
+/// Scans `<root>/src` and every `<root>/crates/*/src` tree into lexed
+/// files, sorted by path for reproducible output.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<rules::File>> {
     let mut files = Vec::new();
     collect_tree(root, &root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -56,12 +67,31 @@ pub fn analyze_root(root: &Path) -> io::Result<Report> {
         }
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Runs the line rules (R1–R7) and the interprocedural passes (R8–R10)
+/// over already-scanned files and returns the combined sorted report.
+pub fn analyze_files(files: &[rules::File]) -> Report {
+    let mut findings = rules::run_all(files);
+    let (inter, proofs) = passes::run_interprocedural(files);
+    findings.extend(inter);
     let mut report = Report {
         files_scanned: files.len(),
-        findings: rules::run_all(&files),
+        findings,
+        proofs,
     };
     report.sort();
-    Ok(report)
+    report
+}
+
+/// Scans the workspace under `root` and renders the resolved call tree
+/// below `root_spec` (an exact qualified name or a unique suffix).
+pub fn dump_call_graph(root: &Path, root_spec: &str) -> io::Result<Result<String, String>> {
+    let files = scan_workspace(root)?;
+    let idx = items::ItemIndex::build(&files);
+    let graph = callgraph::CallGraph::build(&files, &idx);
+    Ok(graph.dump(&files, &idx, root_spec))
 }
 
 /// Recursively scans every `.rs` file under `dir` into `files`.

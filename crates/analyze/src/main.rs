@@ -1,25 +1,36 @@
 //! CLI entry point for `vpir-analyze`.
 //!
 //! ```text
-//! vpir-analyze [--root DIR] [--format text|json]
+//! vpir-analyze [--root DIR] [--format text|json|sarif] [--call-graph FN]
 //! ```
 //!
 //! Exits 0 when the tree is clean (suppressed findings allowed),
 //! 1 when unsuppressed findings remain, and 2 on usage or I/O errors.
+//! `--call-graph FN` skips the rule run and prints the reachable call
+//! tree rooted at `FN` (a qualified name like `Simulator::step_cycle`,
+//! or any unique suffix of one).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vpir_analyze::analyze_root;
+use vpir_analyze::{analyze_root, dump_call_graph, sarif};
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     root: PathBuf,
-    json: bool,
+    format: Format,
+    call_graph: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut format = Format::Text;
+    let mut call_graph = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,24 +40,38 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--format" => {
-                match args.next().as_deref() {
-                    Some("json") => json = true,
-                    Some("text") => json = false,
+                format = match args.next().as_deref() {
+                    Some("json") => Format::Json,
+                    Some("text") => Format::Text,
+                    Some("sarif") => Format::Sarif,
                     other => {
                         return Err(format!(
-                            "--format expects `text` or `json`, got {:?}",
+                            "--format expects `text`, `json`, or `sarif`, got {:?}",
                             other.unwrap_or("nothing")
                         ))
                     }
                 };
             }
+            "--call-graph" => {
+                call_graph = Some(
+                    args.next()
+                        .ok_or_else(|| "--call-graph needs a function name".to_string())?,
+                );
+            }
             "--help" | "-h" => {
-                return Err("usage: vpir-analyze [--root DIR] [--format text|json]".to_string())
+                return Err(
+                    "usage: vpir-analyze [--root DIR] [--format text|json|sarif] [--call-graph FN]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Options { root, json })
+    Ok(Options {
+        root,
+        format,
+        call_graph,
+    })
 }
 
 fn main() -> ExitCode {
@@ -57,6 +82,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(spec) = &opts.call_graph {
+        return match dump_call_graph(&opts.root, spec) {
+            Ok(Ok(tree)) => {
+                print!("{tree}");
+                ExitCode::SUCCESS
+            }
+            Ok(Err(msg)) => {
+                eprintln!("vpir-analyze: {msg}");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("vpir-analyze: cannot read {}: {e}", opts.root.display());
+                ExitCode::from(2)
+            }
+        };
+    }
     let report = match analyze_root(&opts.root) {
         Ok(r) => r,
         Err(e) => {
@@ -73,10 +114,10 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if opts.json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{}", report.to_text());
+    match opts.format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", sarif::to_sarif(&report)),
+        Format::Text => print!("{}", report.to_text()),
     }
     if report.live().count() > 0 {
         ExitCode::from(1)

@@ -75,7 +75,7 @@ pub fn run_all(files: &[File]) -> Vec<Finding> {
 }
 
 /// Creates a finding, honoring a same-line `vpir: allow` comment.
-fn emit(findings: &mut Vec<Finding>, rule: Rule, file: &File, line: usize, message: String) {
+pub(crate) fn emit(findings: &mut Vec<Finding>, rule: Rule, file: &File, line: usize, message: String) {
     let suppressed = file
         .lines
         .get(line - 1)
@@ -200,7 +200,7 @@ fn panic_freedom(file: &File, findings: &mut Vec<Finding>) {
 }
 
 /// Finds `name!` macro invocations with a token boundary before `name`.
-fn has_macro(code: &str, name: &str) -> bool {
+pub(crate) fn has_macro(code: &str, name: &str) -> bool {
     let pat = format!("{name}!");
     let mut from = 0;
     while let Some(pos) = code[from..].find(&pat) {
@@ -225,7 +225,7 @@ fn has_macro(code: &str, name: &str) -> bool {
 /// own length, and flagging it would drown real findings in noise. A
 /// literal index instead encodes a fixed-size assumption that an
 /// `.get(n)` makes explicit.
-fn literal_indexes(code: &str) -> Vec<String> {
+pub(crate) fn literal_indexes(code: &str) -> Vec<String> {
     let chars: Vec<char> = code.chars().collect();
     let mut out = Vec::new();
     for (i, &c) in chars.iter().enumerate() {

@@ -1,0 +1,30 @@
+//! R10 good twin: every path acquires the locks in one fixed order
+//! (cache before pool), or releases the first before the second.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    cache: Mutex<Vec<u64>>,
+    pool: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    pub fn promote(&self) {
+        let mut c = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut p = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = c.pop() {
+            p.push(v);
+        }
+    }
+
+    pub fn demote(&self) {
+        let v = {
+            let mut c = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            c.pop()
+        };
+        if let Some(v) = v {
+            let mut p = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            p.push(v);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! R8 good twin: the same call tree with the panic path closed off.
+
+pub struct Machine {
+    pub pc: u64,
+}
+
+impl Machine {
+    pub fn run(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn step(&mut self) -> u64 {
+        self.pc += 4;
+        decode(self.pc)
+    }
+}
+
+fn decode(word: u64) -> u64 {
+    checked(word).unwrap_or(0)
+}
+
+fn checked(word: u64) -> Option<u64> {
+    Some(word.rotate_left(3))
+}

@@ -1,0 +1,22 @@
+//! R9 bad twin: a spawn closure writes a shared mutable capture
+//! without any per-slot, lock, or atomic discipline, and a `Relaxed`
+//! load feeds control flow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+pub fn tally(n: u64) -> u64 {
+    let mut total = 0u64;
+    let stop = AtomicU64::new(0);
+    thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                if stop.load(Ordering::Relaxed) > 0 {
+                    return;
+                }
+                total += n;
+            });
+        }
+    });
+    total
+}

@@ -1,0 +1,20 @@
+//! R9 good twin: the same fan-out with deterministic discipline —
+//! per-slot writes, RMW counters, and no control flow on `Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+pub fn tally(n: u64) -> u64 {
+    let mut results = vec![0u64; 4];
+    let count = AtomicU64::new(0);
+    thread::scope(|s| {
+        for i in 0..4 {
+            s.spawn(|| {
+                results[i] = n + i as u64;
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let snapshot = count.load(Ordering::Relaxed);
+    results.iter().sum::<u64>() + snapshot
+}

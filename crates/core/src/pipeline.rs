@@ -571,10 +571,10 @@ impl Simulator {
         }
         self.writeback();
         self.promote();
-        self.resolve_branches();
+        self.resolve_branches()?;
         self.memory_access();
         self.issue();
-        self.dispatch();
+        self.dispatch()?;
         self.fetch();
         if self.config.paranoia {
             self.check_invariants()?;
@@ -1169,10 +1169,16 @@ impl Simulator {
             .rob
             .has_flag(slot, flag::HAS_MEM)
             .then(|| self.rob.mem[slot]);
-        let mem = mem_state.as_ref().map(|m| RbMem {
-            addr: out.addr.expect("memory op address"), // vpir: allow(panic, functional execution computes an address for every memory op)
-            width: m.width,
-        });
+        // Functional execution computes an address for every memory op;
+        // an address-less memory op has nothing recordable.
+        let mem = match (&mem_state, out.addr) {
+            (Some(m), Some(addr)) => Some(RbMem {
+                addr,
+                width: m.width,
+            }),
+            (Some(_), None) => return,
+            (None, _) => None,
+        };
         // For loads, only record the full entry once the access finished
         // at the right address; before that, record nothing (the entry
         // will be written when the access completes).
@@ -1240,10 +1246,11 @@ impl Simulator {
     // Branch resolution.
     // ----------------------------------------------------------------
 
-    fn resolve_branches(&mut self) {
+    fn resolve_branches(&mut self) -> Result<(), SimError> {
         let mut slots = std::mem::take(&mut self.slot_scratch);
         self.rob.collect_resolve(&mut slots);
         let resolution = self.branch_resolution();
+        let mut result = Ok(());
         for &slot in &slots {
             let (taken, target) = self.rob.computed_ctrl[slot];
             let inputs_final = self.rob.has_flag(slot, flag::LAST_FINAL)
@@ -1257,13 +1264,18 @@ impl Simulator {
             if !act_now {
                 continue;
             }
-            let squashed = self.act_on_branch(slot, taken, target, inputs_final);
-            if squashed {
+            match self.act_on_branch(slot, taken, target, inputs_final) {
                 // The ROB changed under us; re-run next cycle.
-                break;
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
             }
         }
         self.slot_scratch = slots;
+        result
     }
 
     fn branch_resolution(&self) -> BranchResolution {
@@ -1274,14 +1286,26 @@ impl Simulator {
     }
 
     /// Acts on a computed branch outcome; returns whether it squashed.
-    fn act_on_branch(&mut self, slot: usize, taken: bool, target: u64, is_final: bool) -> bool {
+    ///
+    /// Fails with [`SimError::Internal`] if the slot carries no
+    /// functionally-computed control outcome — a broken bookkeeping
+    /// contract, surfaced instead of panicking.
+    fn act_on_branch(
+        &mut self,
+        slot: usize,
+        taken: bool,
+        target: u64,
+        is_final: bool,
+    ) -> Result<bool, SimError> {
         let seq = self.rob.seq[slot];
         let ctrl = self.rob.ctrl[slot];
         let followed_taken = ctrl.followed_taken;
         let followed_target = ctrl.followed_target;
         let token = ctrl.bp_token;
         let fallthrough = self.rob.pc[slot].wrapping_add(INST_BYTES);
-        let true_outcome = self.rob.out[slot].control.expect("control outcome"); // vpir: allow(panic, functional execution computes an outcome for every control inst)
+        let true_outcome = self.rob.out[slot]
+            .control
+            .ok_or_else(|| self.internal_error("control instruction has no computed outcome"))?;
         let is_cond = self.rob.inst[slot].op.class() == OpClass::Branch;
         self.rob.ctrl[slot].acted_count = self.rob.exec_count[slot];
 
@@ -1316,7 +1340,7 @@ impl Simulator {
                 self.cp_pool.push(cp);
             }
         }
-        mispredicted
+        Ok(mispredicted)
     }
 
     /// Squashes everything younger than `seq` and redirects fetch.
@@ -1744,7 +1768,7 @@ impl Simulator {
     // Dispatch (decode + rename + functional execution).
     // ----------------------------------------------------------------
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self) -> Result<(), SimError> {
         let mut lsq_used = self.rob.mem_ops_in_flight();
         for _ in 0..self.config.decode_width {
             if self.rob.is_full() {
@@ -1766,16 +1790,21 @@ impl Simulator {
                 lsq_used += 1;
             }
             let Some(f) = self.fetch_queue.pop_front() else { break };
-            let redirected = self.dispatch_one(f);
+            let redirected = self.dispatch_one(f)?;
             if self.halted || redirected {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Dispatches one instruction; returns `true` if a reused branch
     /// resolved against the followed path and redirected fetch.
-    fn dispatch_one(&mut self, mut f: FetchedInst) -> bool {
+    ///
+    /// Fails with [`SimError::Internal`] when decode-time bookkeeping
+    /// contracts are broken (a memory op without a width, a control
+    /// instruction without a prediction or outcome).
+    fn dispatch_one(&mut self, mut f: FetchedInst) -> Result<bool, SimError> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.dispatched += 1;
@@ -1825,9 +1854,13 @@ impl Simulator {
                 }
             }
             OpClass::Load | OpClass::Store => {
+                let width = inst
+                    .op
+                    .mem_width()
+                    .ok_or_else(|| self.internal_error("memory op lacks an access width"))?;
                 self.rob.mem[slot] = MemState {
                     is_load: inst.op.class() == OpClass::Load,
-                    width: inst.op.mem_width().expect("memory width"), // vpir: allow(panic, Load/Store opcodes always define an access width)
+                    width,
                     addr_known: None,
                     computed_addr: None,
                     access_finish: None,
@@ -1843,7 +1876,10 @@ impl Simulator {
         // snapshot is *moved* in rather than cloned; the checkpoint's old
         // snapshot Vec returns to the pool for the next fetch.
         if matches!(inst.op.class(), OpClass::Branch | OpClass::JumpReg) {
-            let pred = f.pred.take().expect("control insts carry predictions"); // vpir: allow(panic, fetch attaches a prediction to every branch and indirect jump)
+            let pred = f
+                .pred
+                .take()
+                .ok_or_else(|| self.internal_error("control instruction fetched without a prediction"))?;
             let mut cp = self.cp_pool.pop().unwrap_or_default();
             cp.map.copy_from(&self.map);
             let old_ras = std::mem::replace(&mut cp.ras, pred.ras_snapshot);
@@ -1863,7 +1899,10 @@ impl Simulator {
             self.rob.assign_flag(slot, flag::HAS_CTRL, true);
             self.rob.ctrl_unres.set(slot);
         } else if inst.op.class() == OpClass::Jump {
-            let target = out.control.expect("jump target").target; // vpir: allow(panic, direct jumps always compute a control outcome)
+            let target = out
+                .control
+                .ok_or_else(|| self.internal_error("direct jump has no computed control outcome"))?
+                .target;
             self.rob.ctrl[slot] = CtrlState {
                 followed_taken: true,
                 followed_target: target,
@@ -1881,10 +1920,10 @@ impl Simulator {
         // Enhancement hooks.
         match self.config.enhancement {
             Enhancement::Vp(_) => self.dispatch_vp(slot),
-            Enhancement::Ir(ir) => self.dispatch_ir(slot, ir.validation),
+            Enhancement::Ir(ir) => self.dispatch_ir(slot, ir.validation)?,
             Enhancement::Hybrid(_, ir) => {
                 // Reuse first (non-speculative); predict only what missed.
-                self.dispatch_ir(slot, ir.validation);
+                self.dispatch_ir(slot, ir.validation)?;
                 if !self.rob.reused.test(slot) {
                     self.dispatch_vp(slot);
                 }
@@ -1925,7 +1964,7 @@ impl Simulator {
             let (taken, target) = self.rob.computed_ctrl[slot];
             return self.act_on_branch(slot, taken, target, true);
         }
-        false
+        Ok(false)
     }
 
     fn dispatch_vp(&mut self, slot: usize) {
@@ -1958,11 +1997,11 @@ impl Simulator {
         }
     }
 
-    fn dispatch_ir(&mut self, slot: usize, validation: Validation) {
+    fn dispatch_ir(&mut self, slot: usize, validation: Validation) -> Result<(), SimError> {
         let inst = self.rob.inst[slot];
         let op = inst.op;
         match op.class() {
-            OpClass::Misc | OpClass::Jump => return,
+            OpClass::Misc | OpClass::Jump => return Ok(()),
             _ => {}
         }
         let out = self.rob.out[slot];
@@ -1974,7 +2013,10 @@ impl Simulator {
         for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
             let view = match producers[i] {
-                None => OperandView::settled(src_values[i].expect("read at dispatch")), // vpir: allow(panic, operands without in-flight producers were read from the register file)
+                None => OperandView::settled(
+                    src_values[i]
+                        .ok_or_else(|| self.internal_error("operand was not read at dispatch"))?,
+                ),
                 Some((pslot, pseq)) => {
                     if self.rob.is_live(pslot) && self.rob.seq[pslot] == pseq {
                         let known = self.rob.reused.test(pslot)
@@ -1988,7 +2030,11 @@ impl Simulator {
                             OperandView::in_flight(self.rob.pc[pslot])
                         }
                     } else {
-                        OperandView::settled(src_values[i].expect("read at dispatch")) // vpir: allow(panic, operands without in-flight producers were read from the register file)
+                        OperandView::settled(
+                            src_values[i].ok_or_else(|| {
+                                self.internal_error("operand was not read at dispatch")
+                            })?,
+                        )
                     }
                 }
             };
@@ -2030,9 +2076,9 @@ impl Simulator {
             (None, None) => &[],
         };
 
-        let Some(rb) = self.rb.as_mut() else { return };
+        let Some(rb) = self.rb.as_mut() else { return Ok(()) };
         let Some(mut hit) = rb.lookup(pc, op, &lookup_view, reused_now) else {
-            return;
+            return Ok(());
         };
 
         // A reused load must still snoop older in-flight stores: if one
@@ -2040,7 +2086,9 @@ impl Simulator {
         // to this path — only the address computation is reusable. (The
         // slot being dispatched is not yet visible to the store mask.)
         if hit.full && op.class() == OpClass::Load {
-            let laddr = out.addr.expect("load address"); // vpir: allow(panic, functional execution computes an address for every load)
+            let laddr = out
+                .addr
+                .ok_or_else(|| self.internal_error("load has no computed address"))?;
             let lend = laddr + self.rob.mem[slot].width.bytes();
             let mut conflict = false;
             let rob = &self.rob;
@@ -2076,7 +2124,7 @@ impl Simulator {
         };
         debug_assert!(sound, "reuse test returned a wrong result for {:?}", inst);
         if !sound {
-            return;
+            return Ok(());
         }
 
         self.rob.reuse_source[slot] = Some(hit.entry);
@@ -2128,6 +2176,7 @@ impl Simulator {
                 }
             }
         }
+        Ok(())
     }
 
     // ----------------------------------------------------------------

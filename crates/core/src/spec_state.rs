@@ -107,12 +107,14 @@ impl SpecState {
 
     /// Undoes every write performed by instructions with `seq > keep_seq`.
     pub fn rollback_to(&mut self, keep_seq: u64) {
-        while self.reg_log.back().is_some_and(|u| u.seq > keep_seq) {
-            let u = self.reg_log.pop_back().expect("checked non-empty"); // vpir: allow(panic, back() was Some on the line above)
+        while let Some(u) = self.reg_log.back().filter(|u| u.seq > keep_seq) {
+            let u = *u;
+            self.reg_log.pop_back();
             self.regs.write(u.reg, u.old);
         }
-        while self.mem_log.back().is_some_and(|u| u.seq > keep_seq) {
-            let u = self.mem_log.pop_back().expect("checked non-empty"); // vpir: allow(panic, back() was Some on the line above)
+        while let Some(u) = self.mem_log.back().filter(|u| u.seq > keep_seq) {
+            let u = *u;
+            self.mem_log.pop_back();
             self.mem.write(u.addr, u.width, u.old);
         }
     }

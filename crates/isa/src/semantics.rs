@@ -149,7 +149,9 @@ where
         Lui => out.result = Some(((imm as u64) & 0xffff) << 16),
 
         Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | LdF => {
-            let width = inst.op.mem_width().expect("load has width");
+            // Every load opcode defines a width; the fallback keeps
+            // this arm total without a panic path in the decode tree.
+            let width = inst.op.mem_width().unwrap_or(MemWidth::B8);
             let addr = s1().wrapping_add(imm as u64);
             let raw = mem.load(addr, width);
             out.addr = Some(addr);

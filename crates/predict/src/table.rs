@@ -245,11 +245,16 @@ impl VptTable {
     fn allocate(&mut self, pc: u64, value: u64) {
         self.stats.allocations += 1;
         let tick = self.tick;
-        let way = self
+        // The set is non-empty (assoc is validated positive at
+        // construction); bailing instead of panicking is
+        // behavior-identical on the reachable path.
+        let Some(way) = self
             .set_mut(pc)
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
-            .expect("assoc > 0"); // vpir: allow(panic, a set is non-empty: assoc is validated positive at construction)
+        else {
+            return;
+        };
         *way = VptWay {
             tag: pc,
             value,

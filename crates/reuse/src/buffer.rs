@@ -420,6 +420,11 @@ impl ReuseBuffer {
                 idx
             }
             None => {
+                // `set_slots` is non-empty (assoc is validated positive
+                // at construction), so min_by_key yields a slot; the
+                // first slot of the set is a behavior-identical
+                // fallback that keeps this path panic-free.
+                let fallback = self.set_slots(rec.pc).start;
                 let idx = self
                     .set_slots(rec.pc)
                     .min_by_key(|&idx| {
@@ -430,7 +435,7 @@ impl ReuseBuffer {
                             0
                         }
                     })
-                    .expect("assoc > 0"); // vpir: allow(panic, set_slots is non-empty: assoc is validated positive at construction)
+                    .unwrap_or(fallback);
                 if self.slots[idx].entry.is_some() {
                     self.stats.evictions += 1;
                     self.unindex(idx);

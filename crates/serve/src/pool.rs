@@ -7,6 +7,30 @@
 //! `catch_unwind` so a panicking simulation takes down one job, not a
 //! worker thread — the same fault-isolation stance as the benchmark
 //! matrix runner.
+//!
+//! # Atomic-ordering contract
+//!
+//! Every atomic in this crate falls into one of two classes, and the
+//! R9 concurrency pass enforces the split:
+//!
+//! * **Control flow — `SeqCst`.** `ServerState::stop` and
+//!   `active_connections` (in `lib.rs`) gate accept-loop exit, request
+//!   rejection, and shutdown draining. Their loads feed branches, so
+//!   they use `SeqCst`: the shutdown `swap(true)` must be globally
+//!   ordered before the acceptor observes it, and the connection count
+//!   must not be reordered around the limit check. The cost is a few
+//!   fences per connection — noise next to a simulation run.
+//!
+//! * **Monotonic telemetry — `Relaxed`.** Every `Metrics` counter and
+//!   gauge (`queue_depth`, `in_flight_jobs`, `runs_panicked`, …) is
+//!   written with `Relaxed` `fetch_add`/`fetch_sub`/`store` and read
+//!   only by the `/metrics` scraper. No decision is ever made on these
+//!   values, so cross-thread ordering buys nothing; RMW atomicity alone
+//!   guarantees no lost increments. A scrape may observe a counter a
+//!   beat early or late — that is inherent to scraping, not ordering.
+//!
+//! Queue state itself (`Inner`) is plain data under the `Mutex`; the
+//! `Condvar` pairs with that same mutex, so no atomics are involved.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -7,6 +7,7 @@
 //! vpir limit <prog.s|prog.vpir> [--insts N]
 //! vpir analyze-isa <prog.s|prog.vpir> [--format text|json]
 //! vpir analyze-isa --all-workloads [--format text|json] [--insts N]
+//! vpir analyze [--root DIR] [--format text|json|sarif] [--call-graph FN]
 //! vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]
 //!            [--bench NAME] [--dump-dir DIR] [--resume]
 //!            [--inject-fault <bench>/<config>[:panic|:wedge]]
@@ -34,11 +35,18 @@
 //! cross-validates the static redundancy classes against the dynamic
 //! limit study and exits nonzero on any lint finding or any statically
 //! invariant instruction the dynamic study contradicts.
+//!
+//! `analyze` runs the *host*-code analyzer over the workspace's own
+//! Rust sources: rules R1–R7 plus the interprocedural passes R8–R10
+//! (panic-reachability, concurrency-determinism, lock-order). SARIF
+//! 2.1.0 output is available for CI upload, and `--call-graph FN`
+//! dumps the resolved call tree under any workspace function.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
+use vpir::analyze;
 use vpir::core::{
     BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
     VpConfig, VpKind,
@@ -60,6 +68,7 @@ fn usage() -> ExitCode {
          vpir disasm <prog.s|prog.vpir>\n  \
          vpir limit <prog.s|prog.vpir> [--insts N]\n  \
          vpir analyze-isa <prog.s|prog.vpir|--all-workloads> [--format text|json] [--insts N]\n  \
+         vpir analyze [--root DIR] [--format text|json|sarif] [--call-graph FN]\n  \
          vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
          \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n  \
          vpir bench --cycle-rate [--baseline PATH] [--gate-pct N] [--out PATH]\n  \
@@ -146,6 +155,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args[1..]),
         "limit" => cmd_limit(&args[1..]),
         "analyze-isa" => cmd_analyze_isa(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         _ => return usage(),
@@ -583,6 +593,71 @@ fn cmd_analyze_isa(args: &[String]) -> Result<(), String> {
             "analyze-isa: {total_live} lint finding(s), {total_fps} cross-validation \
              false positive(s) across the workloads"
         ));
+    }
+    Ok(())
+}
+
+/// Runs the host-code analyzer (rules R1–R7 + interprocedural passes
+/// R8–R10) over the workspace's own Rust sources, or dumps the call
+/// tree under one function with `--call-graph`.
+///
+/// Returns `Err` (nonzero exit) on any unsuppressed finding: the
+/// workspace keeps itself clean under its own analyzer.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut root = String::from(".");
+    let mut format = "text".to_string();
+    let mut call_graph: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = args.get(i).cloned().ok_or("--root needs a directory")?;
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(f @ ("text" | "json" | "sarif")) => format = f.to_string(),
+                    _ => return Err("--format needs text|json|sarif".into()),
+                }
+            }
+            "--call-graph" => {
+                i += 1;
+                call_graph = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or("--call-graph needs a function name")?,
+                );
+            }
+            other => return Err(format!("analyze: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if let Some(spec) = call_graph {
+        let tree = analyze::dump_call_graph(root.as_ref(), &spec)
+            .map_err(|e| format!("analyze: cannot read {root}: {e}"))?
+            .map_err(|msg| format!("analyze: {msg}"))?;
+        print!("{tree}");
+        return Ok(());
+    }
+    let report = analyze::analyze_root(root.as_ref())
+        .map_err(|e| format!("analyze: cannot read {root}: {e}"))?;
+    if report.files_scanned == 0 {
+        return Err(format!("analyze: no Rust sources under {root}"));
+    }
+    match format.as_str() {
+        "json" => println!("{}", report.to_json()),
+        "sarif" => {
+            let sarif = analyze::sarif::to_sarif(&report);
+            analyze::sarif::validate_sarif(&sarif)
+                .map_err(|e| format!("emitted SARIF failed self-validation: {e}"))?;
+            println!("{sarif}");
+        }
+        _ => print!("{}", report.to_text()),
+    }
+    let live = report.live().count();
+    if live > 0 {
+        return Err(format!("analyze: {live} unsuppressed finding(s)"));
     }
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! * [`workloads`] — the seven synthetic benchmarks
 //! * [`redundancy`] — the Section 4.3 limit study
 //! * [`isa_analyze`] — static analysis of guest programs (`vpir analyze-isa`)
+//! * [`analyze`] — workspace host-code analyzer (`vpir analyze`)
 //! * [`stats`] — means and table rendering for the experiment harness
 //! * [`serve`] — the std-only HTTP simulation service (`vpir serve`)
 //! * [`jsonlite`] — the shared dependency-free JSON toolkit
@@ -36,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vpir_analyze as analyze;
 pub use vpir_bench as bench;
 pub use vpir_branch as branch;
 pub use vpir_jsonlite as jsonlite;

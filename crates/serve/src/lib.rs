@@ -7,13 +7,24 @@
 //! hash of the serialized program image plus the canonical parameters
 //! addresses a cache of fully rendered response bodies, so a repeated
 //! request is answered without re-simulating and the hit body is
-//! byte-identical to the miss that populated it.
+//! byte-identical to the miss that populated it. Like the paper's reuse
+//! buffer, the cache is *managed*: a bounded in-memory LRU tier in
+//! front of an optional crash-safe disk tier (`--cache-dir`), so a
+//! restart answers prior hits byte-identically with `X-Cache:
+//! hit-disk` and a corrupted entry degrades to a quarantined miss.
 //!
 //! Work the cache cannot answer goes through a bounded job queue served
-//! by a fixed worker pool. A full queue is surfaced as `503` with
-//! `Retry-After` rather than unbounded buffering, and shutdown (via
-//! `POST /v1/shutdown`; the workspace forbids `unsafe`, so there is no
-//! signal handler) drains queued work before the process exits.
+//! by a fixed worker pool, with graduated load shedding on queue-depth
+//! watermarks: healthy → shedding (expensive `/v1/matrix` misses are
+//! refused with `503 + Retry-After` while cached hits and `/healthz`
+//! still answer) → saturated (every miss is refused). Connections are
+//! keep-alive with an idle timeout, a per-connection request cap, and
+//! per-read deadlines — a stalled client gets `408` and its worker
+//! back; a simulation that outruns `--request-deadline-ms` degrades to
+//! a structured `504` whose job still completes and populates the
+//! cache. Shutdown (via `POST /v1/shutdown`; the workspace forbids
+//! `unsafe`, so there is no signal handler) drains queued work before
+//! the process exits.
 //!
 //! Endpoints:
 //!
@@ -23,26 +34,31 @@
 //! - `POST /v1/analyze` — static analysis of inline assembly (CFG,
 //!   loops, constant propagation, lints L1–L4), content-addressed by
 //!   the source text.
-//! - `GET /healthz` — liveness plus draining state.
-//! - `GET /metrics` — Prometheus text exposition.
+//! - `GET /healthz` — liveness, draining state, shed state.
+//! - `GET /metrics` — Prometheus text exposition with latency
+//!   histograms per endpoint.
 //! - `POST /v1/shutdown` — graceful drain-and-exit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod histo;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
 pub mod pool;
+pub mod store;
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vpir_bench::matrix::{
     build_programs, config_for_label, config_labels, run_matrix_outcome, InjectFault,
@@ -55,12 +71,14 @@ use vpir_isa_analyze::analyze_program;
 use vpir_jsonlite::{parse_json, JsonObj, JsonValue};
 use vpir_workloads::{Bench, Scale};
 
-pub use cache::{fnv1a64, ResultCache};
-pub use http::{HttpError, Request};
-pub use metrics::Metrics;
+pub use cache::{fnv1a64, HitTier, ResultCache};
+pub use histo::Histogram;
+pub use http::{ConnReader, HttpError, Request};
+pub use metrics::{Metrics, ShedState};
 pub use pool::{JobQueue, PushError};
+pub use store::{DiskStore, StoreFault};
 
-use http::{read_request, write_response};
+use http::write_response;
 use pool::spawn_workers;
 
 /// Concurrent connection cap; connections beyond it get an immediate
@@ -70,8 +88,9 @@ const MAX_CONNECTIONS: usize = 64;
 const MAX_SCALE: u64 = 1024;
 /// Upper bound on per-request cycle and instruction caps.
 const MAX_CYCLES_CAP: u64 = 1_000_000_000;
-/// Per-connection socket timeout.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+/// Per-connection write timeout (a client that stops reading its
+/// response is dropped, not waited on).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 const JSON: &str = "application/json";
 const METRICS_TEXT: &str = "text/plain; version=0.0.4";
@@ -89,18 +108,36 @@ pub struct ServeConfig {
     /// zero so tests can freeze the queue and exercise backpressure
     /// deterministically.
     pub workers: usize,
-    /// Bounded job queue capacity; a full queue answers 503.
+    /// Bounded job queue capacity; a full queue answers 503 and the
+    /// shed watermarks are fractions of this value.
     pub queue_capacity: usize,
-    /// Result cache capacity (entries beyond it are not retained).
+    /// In-memory cache tier bound, in entries.
     pub cache_capacity: usize,
+    /// In-memory cache tier bound, in body bytes.
+    pub cache_mem_bytes: u64,
+    /// Directory for the durable disk cache tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Disk cache tier bound, in file bytes (headers included).
+    pub cache_disk_bytes: u64,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
     /// Cycle cap applied when a request omits `max_cycles`.
     pub default_max_cycles: u64,
     /// Largest accepted `trace` record count.
     pub max_trace: u64,
-    /// How long a connection handler waits for its job's result.
-    pub job_timeout: Duration,
+    /// How long a handler waits for its simulation before degrading to
+    /// a structured 504 (the job still completes and fills the cache).
+    pub request_deadline: Duration,
+    /// How long an idle keep-alive connection is held open.
+    pub idle_timeout: Duration,
+    /// Per-read deadline once a request has started arriving; a client
+    /// that stalls longer mid-request gets 408.
+    pub read_deadline: Duration,
+    /// Requests served per connection before it is closed.
+    pub max_requests_per_conn: usize,
+    /// Deterministic disk-store fault injection for tests and the CI
+    /// chaos step.
+    pub inject_fault: Option<StoreFault>,
 }
 
 impl Default for ServeConfig {
@@ -110,10 +147,17 @@ impl Default for ServeConfig {
             workers: 1,
             queue_capacity: 32,
             cache_capacity: 1024,
+            cache_mem_bytes: 64 << 20,
+            cache_dir: None,
+            cache_disk_bytes: 256 << 20,
             max_body_bytes: 1 << 20,
             default_max_cycles: 2_000_000,
             max_trace: 4096,
-            job_timeout: Duration::from_secs(120),
+            request_deadline: Duration::from_secs(120),
+            idle_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(2),
+            max_requests_per_conn: 100,
+            inject_fault: None,
         }
     }
 }
@@ -140,10 +184,14 @@ struct State {
 }
 
 impl State {
-    fn new(cfg: ServeConfig, addr: SocketAddr) -> State {
-        let cache = Arc::new(ResultCache::new(cfg.cache_capacity));
+    fn new(cfg: ServeConfig, addr: SocketAddr) -> io::Result<State> {
+        let store = match &cfg.cache_dir {
+            None => None,
+            Some(dir) => Some(DiskStore::open(dir, cfg.cache_disk_bytes, cfg.inject_fault)?),
+        };
+        let cache = Arc::new(ResultCache::new(cfg.cache_capacity, cfg.cache_mem_bytes, store));
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
-        State {
+        Ok(State {
             cfg,
             addr,
             metrics: Arc::new(Metrics::new()),
@@ -152,7 +200,7 @@ impl State {
             programs: Mutex::new(BTreeMap::new()),
             stop: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
-        }
+        })
     }
 
     /// Returns the memoized (program, image) pair for a benchmark at a
@@ -170,6 +218,32 @@ impl State {
         map.insert(key, Arc::clone(&prepared));
         Ok(prepared)
     }
+
+    /// Computes the current shed state from the queue depth and
+    /// refreshes the exported gauge.
+    fn shed(&self) -> ShedState {
+        let shed = ShedState::for_depth(self.queue.depth(), self.cfg.queue_capacity.max(1));
+        self.metrics.shed_state.store(shed as u64, Ordering::Relaxed);
+        shed
+    }
+
+    /// Copies the cache tiers' internal counters into the exported
+    /// metrics gauges.
+    fn sync_cache_metrics(&self) {
+        sync_cache_metrics(&self.metrics, &self.cache);
+    }
+}
+
+fn sync_cache_metrics(metrics: &Metrics, cache: &ResultCache) {
+    metrics.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
+    metrics.cache_mem_bytes.store(cache.mem_bytes(), Ordering::Relaxed);
+    metrics.cache_entries_evicted.store(cache.mem_evicted(), Ordering::Relaxed);
+    if let Some(stats) = cache.store_stats() {
+        metrics.store_entries.store(stats.entries, Ordering::Relaxed);
+        metrics.store_bytes.store(stats.bytes, Ordering::Relaxed);
+        metrics.store_evictions.store(stats.evictions, Ordering::Relaxed);
+        metrics.store_quarantined.store(stats.quarantined, Ordering::Relaxed);
+    }
 }
 
 /// A running service instance.
@@ -181,13 +255,15 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and the accept thread, and returns
-    /// immediately. The service runs until `POST /v1/shutdown` (or
-    /// [`Server::shutdown`]) is observed.
+    /// Binds, opens the disk cache tier (if configured), spawns the
+    /// worker pool and the accept thread, and returns immediately. The
+    /// service runs until `POST /v1/shutdown` (or [`Server::shutdown`])
+    /// is observed.
     pub fn start(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(State::new(cfg, addr));
+        let state = Arc::new(State::new(cfg, addr)?);
+        state.sync_cache_metrics();
         let workers = spawn_workers(
             state.cfg.workers,
             Arc::clone(&state.queue),
@@ -257,6 +333,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
         if state.stop.load(Ordering::SeqCst) {
             break;
         }
+        state.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
         if state.active_connections.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
             let mut stream = stream;
             state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
@@ -268,6 +345,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
                 JSON,
                 &[("Retry-After", "1".to_string())],
                 body.as_bytes(),
+                true,
             );
             continue;
         }
@@ -276,7 +354,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
         let spawned = std::thread::Builder::new()
             .name("vpir-serve-conn".to_string())
             .spawn(move || {
-                handle_connection(stream, &conn_state);
+                handle_connection(&stream, &conn_state);
                 conn_state.active_connections.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -325,28 +403,88 @@ fn error_body(status: u16, message: &str) -> String {
     JsonObj::new().u("status", u64::from(status)).s("error", message).finish()
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<State>) {
-    let mut stream = stream;
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let response = match read_request(&mut stream, state.cfg.max_body_bytes) {
-        Ok(request) => match route(state, &request) {
+fn elapsed_micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Serves one keep-alive connection: requests are read and answered in
+/// order until the client closes, stalls, errs, or exhausts the
+/// per-connection request cap.
+///
+/// Two timers govern the read side. While the connection is *idle*
+/// (nothing buffered, nothing mid-flight) the socket waits up to
+/// `idle_timeout` for the first byte of the next request and a timeout
+/// is a quiet close. Once bytes start flowing, every subsequent read
+/// must land within `read_deadline`; a longer stall is a slowloris and
+/// is answered `408` before closing — the handler thread is never
+/// parked on a slow client beyond one deadline.
+fn handle_connection(stream: &TcpStream, state: &Arc<State>) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut reader = ConnReader::new(stream);
+    let mut out = stream;
+    let mut served = 0usize;
+    loop {
+        if !reader.has_buffered() {
+            // Idle phase: wait (bounded) for the next request to begin.
+            let _ = stream.set_read_timeout(Some(state.cfg.idle_timeout));
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return,  // clean EOF between requests
+                Ok(_) => {}
+                Err(_) => return, // idle timeout or socket error
+            }
+        }
+        // Read phase: the request has started; every read is deadlined.
+        let _ = stream.set_read_timeout(Some(state.cfg.read_deadline));
+        let started = Instant::now();
+        let request = match reader.next_request(state.cfg.max_body_bytes) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(err) => {
+                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                if err.status == 408 {
+                    state.metrics.slow_client_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                state.metrics.observe_status(err.status);
+                let resp = Response::from_error(&err);
+                let _ = write_response(
+                    &mut out,
+                    resp.status,
+                    resp.content_type,
+                    &resp.extra,
+                    resp.body.as_bytes(),
+                    true,
+                );
+                state.metrics.latency_other.record(elapsed_micros(started));
+                return; // a protocol error always closes
+            }
+        };
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        served += 1;
+        let response = match route(state, &request) {
             Ok(response) => response,
             Err(err) => Response::from_error(&err),
-        },
-        Err(err) => Response::from_error(&err),
-    };
-    state.metrics.observe_status(response.status);
-    let _ = write_response(
-        &mut stream,
-        response.status,
-        response.content_type,
-        &response.extra,
-        response.body.as_bytes(),
-    );
-    if response.shutdown {
-        begin_shutdown(state);
+        };
+        let close = !request.keep_alive
+            || served >= state.cfg.max_requests_per_conn
+            || response.status >= 400
+            || response.shutdown;
+        state.metrics.observe_status(response.status);
+        let wrote = write_response(
+            &mut out,
+            response.status,
+            response.content_type,
+            &response.extra,
+            response.body.as_bytes(),
+            close,
+        );
+        state.metrics.latency_for(&request.path).record(elapsed_micros(started));
+        if response.shutdown {
+            begin_shutdown(state);
+        }
+        if close || wrote.is_err() {
+            return;
+        }
     }
 }
 
@@ -354,15 +492,23 @@ fn route(state: &Arc<State>, request: &Request) -> Result<Response, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::json(
             200,
-            JsonObj::new().b("ok", true).b("draining", state.queue.is_draining()).finish(),
+            JsonObj::new()
+                .b("ok", true)
+                .b("draining", state.queue.is_draining())
+                .s("state", state.shed().name())
+                .finish(),
         )),
-        ("GET", "/metrics") => Ok(Response {
-            status: 200,
-            content_type: METRICS_TEXT,
-            extra: Vec::new(),
-            body: Arc::new(state.metrics.render()),
-            shutdown: false,
-        }),
+        ("GET", "/metrics") => {
+            state.shed();
+            state.sync_cache_metrics();
+            Ok(Response {
+                status: 200,
+                content_type: METRICS_TEXT,
+                extra: Vec::new(),
+                body: Arc::new(state.metrics.render()),
+                shutdown: false,
+            })
+        }
         ("POST", "/v1/run") => handle_run(state, &request.body),
         ("POST", "/v1/matrix") => handle_matrix(state, &request.body),
         ("POST", "/v1/analyze") => handle_analyze(state, &request.body),
@@ -532,7 +678,7 @@ fn handle_run(state: &Arc<State>, body: &[u8]) -> Result<Response, HttpError> {
             }
         }
     });
-    respond_cached_or_enqueue(state, key, job)
+    respond_cached_or_enqueue(state, key, false, job)
 }
 
 fn render_run_body(
@@ -696,7 +842,9 @@ fn handle_matrix(state: &Arc<State>, body: &[u8]) -> Result<Response, HttpError>
             }
         }
     });
-    respond_cached_or_enqueue(state, key, job)
+    // The matrix is the expensive endpoint: it is the first work
+    // refused when the queue crosses the shed watermark.
+    respond_cached_or_enqueue(state, key, true, job)
 }
 
 fn render_matrix_body(
@@ -781,42 +929,98 @@ fn handle_analyze(state: &Arc<State>, body: &[u8]) -> Result<Response, HttpError
             }
         }
     });
-    respond_cached_or_enqueue(state, key, job)
+    respond_cached_or_enqueue(state, key, false, job)
 }
 
 // ----------------------------------------------------------------
 // The cache-or-enqueue core.
 // ----------------------------------------------------------------
 
+/// The structured 504 body a request degrades to when its simulation
+/// outruns the deadline. Reuses the `SimError` row vocabulary
+/// (`kind`/`message`) so clients parse it like any other failure; the
+/// job itself keeps running and will populate the cache.
+fn deadline_response(deadline: Duration) -> Response {
+    let millis = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+    let error_json = JsonObj::new()
+        .s("kind", "deadline")
+        .s(
+            "message",
+            &format!(
+                "simulation exceeded the {millis}ms request deadline; \
+                 the job continues and its result will populate the cache"
+            ),
+        )
+        .finish();
+    let body = JsonObj::new()
+        .s("schema", "vpir-serve-error-v1")
+        .u("status", 504)
+        .raw("error", &error_json)
+        .finish();
+    Response::json(504, body)
+}
+
 /// Answers from the cache when possible; otherwise enqueues `job_fn`
-/// on the worker pool (propagating backpressure as 503) and waits for
-/// its rendered body. The cached body is the complete response, so a
-/// hit is byte-identical to the miss that populated it.
+/// on the worker pool (propagating backpressure and load shedding as
+/// 503) and waits for its rendered body. The cached body is the
+/// complete response, so a hit is byte-identical to the miss that
+/// populated it — whichever tier answers.
 fn respond_cached_or_enqueue(
     state: &Arc<State>,
     key: u64,
+    expensive: bool,
     job_fn: Box<dyn FnOnce() -> String + Send + 'static>,
 ) -> Result<Response, HttpError> {
-    if let Some(body) = state.cache.get(key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+    if let Some((body, tier)) = state.cache.get(key) {
+        let tag = match tier {
+            HitTier::Memory => {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                "hit"
+            }
+            HitTier::Disk => {
+                state.metrics.cache_hits_disk.fetch_add(1, Ordering::Relaxed);
+                "hit-disk"
+            }
+        };
+        state.sync_cache_metrics();
         return Ok(Response {
             status: 200,
             content_type: JSON,
-            extra: vec![("X-Cache", "hit".to_string())],
+            extra: vec![("X-Cache", tag.to_string())],
             body,
             shutdown: false,
         });
     }
     state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
+    if state.queue.is_draining() {
+        return Err(HttpError::new(503, "server is draining for shutdown"));
+    }
+    // Graduated shedding: cached hits were already answered above, so
+    // only misses are subject to the watermarks.
+    match state.shed() {
+        ShedState::Healthy => {}
+        ShedState::Shedding if !expensive => {}
+        ShedState::Shedding => {
+            state.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(HttpError::new(
+                503,
+                "server is shedding load (queue past watermark) — retry shortly",
+            ));
+        }
+        ShedState::Saturated => {
+            state.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(HttpError::new(503, "server is saturated — retry shortly"));
+        }
+    }
+
     let (tx, rx) = mpsc::channel::<Arc<String>>();
     let cache = Arc::clone(&state.cache);
     let metrics = Arc::clone(&state.metrics);
     let job = Box::new(move || {
         let body = Arc::new(job_fn());
-        if cache.insert(key, Arc::clone(&body)) {
-            metrics.cache_entries.store(cache.len() as u64, Ordering::Relaxed);
-        }
+        cache.insert(key, Arc::clone(&body));
+        sync_cache_metrics(&metrics, &cache);
         let _ = tx.send(body);
     });
     match state.queue.try_push(job) {
@@ -830,7 +1034,7 @@ fn respond_cached_or_enqueue(
             return Err(HttpError::new(503, "server is draining for shutdown"))
         }
     }
-    match rx.recv_timeout(state.cfg.job_timeout) {
+    match rx.recv_timeout(state.cfg.request_deadline) {
         Ok(body) => Ok(Response {
             status: 200,
             content_type: JSON,
@@ -838,7 +1042,13 @@ fn respond_cached_or_enqueue(
             body,
             shutdown: false,
         }),
-        Err(_) => Err(HttpError::new(500, "job was abandoned (timeout or shutdown)")),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            state.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            Ok(deadline_response(state.cfg.request_deadline))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(HttpError::new(500, "job was abandoned (shutdown)"))
+        }
     }
 }
 
@@ -859,11 +1069,16 @@ mod tests {
     fn test_state(workers: usize) -> (Arc<State>, Vec<JoinHandle<()>>) {
         let cfg = ServeConfig {
             workers,
-            job_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(30),
             ..ServeConfig::default()
         };
+        test_state_with(cfg)
+    }
+
+    fn test_state_with(cfg: ServeConfig) -> (Arc<State>, Vec<JoinHandle<()>>) {
+        let workers = cfg.workers;
         let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
-        let state = Arc::new(State::new(cfg, addr));
+        let state = Arc::new(State::new(cfg, addr).expect("state"));
         let handles = spawn_workers(workers, Arc::clone(&state.queue), Arc::clone(&state.metrics));
         (state, handles)
     }
@@ -881,6 +1096,7 @@ mod tests {
             path: path.to_string(),
             headers: Vec::new(),
             body: body.to_vec(),
+            keep_alive: true,
         }
     }
 
@@ -895,7 +1111,10 @@ mod tests {
         let resp = route(&state, &request("POST", "/metrics", b"")).expect("405 response");
         assert_eq!(resp.status, 405);
         let health = route(&state, &request("GET", "/healthz", b"")).expect("healthz");
-        assert_eq!(health.body.as_str(), "{\"ok\": true, \"draining\": false}");
+        assert_eq!(
+            health.body.as_str(),
+            "{\"ok\": true, \"draining\": false, \"state\": \"healthy\"}"
+        );
         finish(&state, handles);
     }
 
@@ -1000,7 +1219,7 @@ mod tests {
         // fully deterministic.
         let cfg = ServeConfig { workers: 0, queue_capacity: 1, ..ServeConfig::default() };
         let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
-        let state = Arc::new(State::new(cfg, addr));
+        let state = Arc::new(State::new(cfg, addr).expect("state"));
         // Occupy the single queue slot directly; pushing via handle_run
         // would block the test on the job's result channel.
         assert!(state.queue.try_push(Box::new(|| {})).is_ok());
@@ -1013,6 +1232,64 @@ mod tests {
         let err = handle_run(&state, b"{\"bench\": \"perl\"}").expect_err("draining");
         assert_eq!(err.status, 503);
         assert!(err.message.contains("draining"), "{}", err.message);
+    }
+
+    #[test]
+    fn shedding_refuses_matrix_misses_but_serves_cached_hits() {
+        // Capacity 4 with 2 queued jobs: exactly at the shed watermark.
+        let cfg = ServeConfig { workers: 0, queue_capacity: 4, ..ServeConfig::default() };
+        let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+        let state = Arc::new(State::new(cfg, addr).expect("state"));
+        assert!(state.queue.try_push(Box::new(|| {})).is_ok());
+        assert!(state.queue.try_push(Box::new(|| {})).is_ok());
+        assert_eq!(state.shed(), ShedState::Shedding);
+
+        // The expensive endpoint is refused while shedding...
+        let err = handle_matrix(&state, b"{\"bench\": \"go\"}").expect_err("shed 503");
+        assert_eq!(err.status, 503);
+        assert!(err.message.contains("shedding"), "{}", err.message);
+        assert_eq!(state.metrics.requests_shed.load(Ordering::Relaxed), 1);
+
+        // ...but a cached hit on any endpoint is still answered, even
+        // saturated. The analyze key is a pure function of the source,
+        // so the test can seed the cache directly.
+        let source = "halt";
+        let key = fnv1a64(&[b"analyze-v1", source.as_bytes()]);
+        state.cache.insert(key, Arc::new("{\"canned\": true}".to_string()));
+        assert!(state.queue.try_push(Box::new(|| {})).is_ok());
+        assert!(state.queue.try_push(Box::new(|| {})).is_ok());
+        assert_eq!(state.shed(), ShedState::Saturated);
+        let hit = handle_analyze(&state, b"{\"asm\": \"halt\"}").expect("hit during saturation");
+        assert_eq!(hit.status, 200);
+        assert!(hit.extra.iter().any(|(n, v)| *n == "X-Cache" && v == "hit"));
+
+        // A saturated miss is refused on every endpoint.
+        let err = handle_run(&state, b"{\"bench\": \"go\"}").expect_err("saturated 503");
+        assert_eq!(err.status, 503);
+        assert!(err.message.contains("saturated"), "{}", err.message);
+
+        // /healthz reports the state by name.
+        let health = route(&state, &request("GET", "/healthz", b"")).expect("healthz");
+        assert!(health.body.contains("\"state\": \"saturated\""), "{}", health.body);
+    }
+
+    #[test]
+    fn a_request_past_the_deadline_degrades_to_a_structured_504() {
+        // Zero workers: the enqueued job never runs, so the handler's
+        // wait deterministically outlives a short deadline.
+        let cfg = ServeConfig {
+            workers: 0,
+            request_deadline: Duration::from_millis(25),
+            ..ServeConfig::default()
+        };
+        let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+        let state = Arc::new(State::new(cfg, addr).expect("state"));
+        let resp = handle_run(&state, b"{\"bench\": \"go\"}").expect("504 response");
+        assert_eq!(resp.status, 504);
+        assert!(resp.body.contains("\"schema\": \"vpir-serve-error-v1\""), "{}", resp.body);
+        assert!(resp.body.contains("\"kind\": \"deadline\""), "{}", resp.body);
+        assert_eq!(state.metrics.deadline_exceeded.load(Ordering::Relaxed), 1);
+        state.queue.clear();
     }
 
     #[test]
@@ -1040,6 +1317,38 @@ mod tests {
             .expect_err("bad fault bench");
         assert_eq!(err.status, 400);
         assert!(err.message.contains("unknown bench"), "{}", err.message);
+        finish(&state, handles);
+    }
+
+    #[test]
+    fn a_cache_dir_state_round_trips_bodies_across_instances() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/scratch/serve-lib/state-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.clone()),
+            request_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        };
+        let (state, handles) = test_state_with(cfg.clone());
+        let body = b"{\"asm\": \"halt\"}";
+        let miss = handle_analyze(&state, body).expect("miss");
+        assert_eq!(miss.status, 200);
+        finish(&state, handles);
+        drop(state);
+
+        // A fresh State over the same directory answers from disk.
+        let (state, handles) = test_state_with(cfg);
+        let hit = handle_analyze(&state, body).expect("disk hit");
+        assert_eq!(hit.status, 200);
+        assert!(
+            hit.extra.iter().any(|(n, v)| *n == "X-Cache" && v == "hit-disk"),
+            "{:?}",
+            hit.extra
+        );
+        assert_eq!(hit.body.as_str(), miss.body.as_str(), "byte-identical across restart");
+        assert_eq!(state.metrics.cache_hits_disk.load(Ordering::Relaxed), 1);
         finish(&state, handles);
     }
 }

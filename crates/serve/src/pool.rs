@@ -22,12 +22,18 @@
 //!   fences per connection — noise next to a simulation run.
 //!
 //! * **Monotonic telemetry — `Relaxed`.** Every `Metrics` counter and
-//!   gauge (`queue_depth`, `in_flight_jobs`, `runs_panicked`, …) is
-//!   written with `Relaxed` `fetch_add`/`fetch_sub`/`store` and read
-//!   only by the `/metrics` scraper. No decision is ever made on these
-//!   values, so cross-thread ordering buys nothing; RMW atomicity alone
-//!   guarantees no lost increments. A scrape may observe a counter a
-//!   beat early or late — that is inherent to scraping, not ordering.
+//!   gauge (`queue_depth`, `in_flight_jobs`, `runs_panicked`, …) and
+//!   every latency-histogram bucket (`crate::histo`, including the
+//!   loadgen's client-side histogram) is written with `Relaxed`
+//!   `fetch_add`/`fetch_sub`/`fetch_max`/`store` and read only by the
+//!   `/metrics` scraper or an end-of-run report. No decision is ever
+//!   made on these values, so cross-thread ordering buys nothing; RMW
+//!   atomicity alone guarantees no lost increments. A scrape may
+//!   observe a counter a beat early or late — that is inherent to
+//!   scraping, not ordering. The `shed_state` gauge stays in this class
+//!   because the router never *loads* it for the shed decision: it
+//!   recomputes the watermark from the queue depth (read under the
+//!   queue mutex) and only publishes the result.
 //!
 //! Queue state itself (`Inner`) is plain data under the `Mutex`; the
 //! `Condvar` pairs with that same mutex, so no atomics are involved.

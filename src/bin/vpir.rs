@@ -13,6 +13,12 @@
 //!            [--inject-fault <bench>/<config>[:panic|:wedge]]
 //! vpir bench --cycle-rate [--baseline PATH] [--gate-pct N] [--out PATH]
 //! vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!            [--cache-dir DIR] [--disk-bytes N] [--request-deadline-ms N]
+//!            [--idle-timeout-ms N] [--read-deadline-ms N] [--max-requests N]
+//!            [--inject-fault corrupt-store|truncate-store]
+//! vpir loadgen --addr HOST:PORT [--conns N] [--duration-ms N]
+//!              [--mix hit-heavy|miss-heavy|matrix|malformed|slowloris]
+//!              [--out PATH]
 //!
 //! machines: base (default), vp, lvp, stride, ir, ir-late, hybrid,
 //!           and every paper configuration like vp:nme-nsb:vl1
@@ -28,7 +34,19 @@
 //! committed baseline.
 //!
 //! `serve` prints the bound address on stdout (so scripts can discover
-//! an ephemeral port) and runs until `POST /v1/shutdown` arrives.
+//! an ephemeral port) and runs until `POST /v1/shutdown` arrives. With
+//! `--cache-dir` the result cache gains a crash-safe disk tier that
+//! survives restarts (prior hits answer `X-Cache: hit-disk`
+//! byte-identically); `--request-deadline-ms` bounds each simulation
+//! (a structured 504 past it), and the read/idle deadlines bound how
+//! long a slow client can hold a connection (408 on a mid-request
+//! stall).
+//!
+//! `loadgen` drives a running server with one of five traffic mixes
+//! (including malformed and slowloris chaos), verifies repeated hits
+//! are byte-identical under load, and writes a schema-validated
+//! `BENCH_serve.json` with throughput, latency percentiles, and
+//! error/shed counts.
 //!
 //! `analyze-isa` runs the guest static analyzer (CFG, loops, constant
 //! propagation, lints L1–L4); with `--all-workloads` it also
@@ -58,7 +76,8 @@ use vpir::bench::perf::{
 use vpir::isa::{asm, image, Program};
 use vpir::isa_analyze::{analyze_program, cross_validate, REQUIRED_KEYS as ANALYZE_KEYS};
 use vpir::redundancy::{analyze, analyze_per_pc, LimitConfig};
-use vpir::serve::{ServeConfig, Server};
+use vpir::serve::loadgen::{self, LoadgenConfig, Mix};
+use vpir::serve::{ServeConfig, Server, StoreFault};
 use vpir::workloads::{Bench, Scale};
 
 fn usage() -> ExitCode {
@@ -72,7 +91,11 @@ fn usage() -> ExitCode {
          vpir bench [--full] [--scale N] [--jobs N] [--out PATH] [--compare-sequential]\n  \
          \x20          [--bench NAME] [--dump-dir DIR] [--resume] [--inject-fault SPEC]\n  \
          vpir bench --cycle-rate [--baseline PATH] [--gate-pct N] [--out PATH]\n  \
-         vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\n\
+         vpir serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n  \
+         \x20          [--cache-dir DIR] [--disk-bytes N] [--request-deadline-ms N]\n  \
+         \x20          [--idle-timeout-ms N] [--read-deadline-ms N] [--max-requests N]\n  \
+         \x20          [--inject-fault corrupt-store|truncate-store]\n  \
+         vpir loadgen --addr HOST:PORT [--conns N] [--duration-ms N] [--mix MIX] [--out PATH]\n\n\
          machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
          \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
     );
@@ -158,6 +181,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         _ => return usage(),
     };
     match result {
@@ -451,6 +475,54 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--cache needs a number")?;
             }
+            "--cache-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().ok_or("--cache-dir needs a path")?;
+                cfg.cache_dir = Some(dir.into());
+            }
+            "--disk-bytes" => {
+                i += 1;
+                cfg.cache_disk_bytes = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--disk-bytes needs a number")?;
+            }
+            "--request-deadline-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--request-deadline-ms needs a number")?;
+                cfg.request_deadline = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--idle-timeout-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--idle-timeout-ms needs a number")?;
+                cfg.idle_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--read-deadline-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--read-deadline-ms needs a number")?;
+                cfg.read_deadline = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--max-requests" => {
+                i += 1;
+                cfg.max_requests_per_conn = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-requests needs a number")?;
+            }
+            "--inject-fault" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--inject-fault needs a fault name")?;
+                cfg.inject_fault = Some(StoreFault::parse(spec).map_err(|e| format!("serve: {e}"))?);
+            }
             other => return Err(format!("serve: unknown option `{other}`")),
         }
         i += 1;
@@ -461,10 +533,77 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if cfg.queue_capacity == 0 {
         return Err("serve: --queue must be at least 1".into());
     }
+    if cfg.max_requests_per_conn == 0 {
+        return Err("serve: --max-requests must be at least 1".into());
+    }
+    if cfg.inject_fault.is_some() && cfg.cache_dir.is_none() {
+        return Err("serve: --inject-fault requires --cache-dir".into());
+    }
     let server = Server::start(cfg).map_err(|e| format!("serve: bind failed: {e}"))?;
     println!("listening on {}", server.addr());
     server.join();
     println!("shutdown complete");
+    Ok(())
+}
+
+/// Drives a running `vpir serve` instance with one of the loadgen
+/// traffic mixes and writes the schema-validated `BENCH_serve.json`
+/// report (throughput, latency percentiles, error/shed counts, cache
+/// hit ratio, byte-identity violations).
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut cfg = LoadgenConfig {
+        addr: String::new(),
+        conns: 8,
+        duration: std::time::Duration::from_millis(2000),
+        mix: Mix::HitHeavy,
+    };
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args.get(i).cloned().ok_or("--addr needs host:port")?;
+            }
+            "--conns" => {
+                i += 1;
+                cfg.conns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--conns needs a number")?;
+            }
+            "--duration-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--duration-ms needs a number")?;
+                cfg.duration = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--mix" => {
+                i += 1;
+                let name = args.get(i).ok_or("--mix needs a name")?;
+                cfg.mix = Mix::parse(name)
+                    .ok_or_else(|| format!("unknown mix `{name}` (valid: {})", Mix::ALL_NAMES))?;
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().ok_or("--out needs a path")?;
+            }
+            other => return Err(format!("loadgen: unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if cfg.addr.is_empty() {
+        return Err("loadgen: --addr is required".into());
+    }
+    if cfg.conns == 0 {
+        return Err("loadgen: --conns must be at least 1".into());
+    }
+    let report = loadgen::run(&cfg).map_err(|e| format!("loadgen: {e}"))?;
+    fs::write(&out_path, &report).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{report}");
+    println!("wrote {out_path}");
     Ok(())
 }
 

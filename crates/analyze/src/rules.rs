@@ -11,7 +11,8 @@
 //! | R7 | columnar    | cycle-level crates minus the column module      |
 //!
 //! Cycle-level crates are the ones whose state evolves per simulated
-//! cycle: `core`, `reuse`, `predict`, `branch`, `mem`. Iteration order
+//! cycle: `core`, `reuse`, `predict`, `branch`, `mem`, `mechanism`.
+//! Iteration order
 //! there is part of the simulated machine's behaviour, so hash-ordered
 //! collections (R1) would make runs depend on hash seeding, and a
 //! panic mid-cycle (R2) would tear down a simulation that a malformed
@@ -30,7 +31,7 @@ pub struct File {
 }
 
 /// The crates whose per-cycle state must be deterministic & panic-free.
-const CYCLE_CRATES: [&str; 5] = ["core", "reuse", "predict", "branch", "mem"];
+const CYCLE_CRATES: [&str; 6] = ["core", "reuse", "predict", "branch", "mem", "mechanism"];
 
 /// The one file allowed to declare `Vec<Option<…>>` state: the ROB
 /// column module, where array-of-structs remnants are being burned down

@@ -5,7 +5,7 @@
 //!
 //! ids: table2 table3 table4 table5 table6
 //!      fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!      all ablations
+//!      all csv rtb ablations hybrid frontend
 //! ```
 
 use std::env;
@@ -22,7 +22,7 @@ use vpir_workloads::{Bench, Scale};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <id> [--quick] [--scale N] [--bench NAME] [--jobs N]\n\
-         ids: table2..table6, fig3..fig10, all, csv, ablations, hybrid, frontend"
+         ids: table2..table6, fig3..fig10, all, csv, rtb, ablations, hybrid, frontend"
     );
     ExitCode::FAILURE
 }
@@ -106,6 +106,7 @@ fn main() -> ExitCode {
         "fig10" => report::fig10(&matrix),
         "all" => report::all(&matrix),
         "csv" => report::csv(&matrix),
+        "rtb" => report::rtb_table(&matrix),
         _ => return usage(),
     };
     println!("{out}");

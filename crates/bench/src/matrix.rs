@@ -23,70 +23,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use vpir_core::{
-    BranchResolution, CoreConfig, FaultInjection, IrConfig, Reexecution, RunLimits, SimError,
-    SimStats, Simulator, Validation, VpConfig, VpKind,
+    CoreConfig, FaultInjection, IrConfig, RtbConfig, RunLimits, SimError, SimStats, Simulator,
+    Validation,
 };
 use vpir_isa::Program;
+use vpir_mechanism::registry::{self, vp_config};
 use vpir_redundancy::{analyze, LimitConfig, LimitStudy};
 use vpir_workloads::{Bench, Scale};
 
 use crate::state::{self, JobPayload, JobRecord};
 
-/// Identifies one VP configuration in the matrix.
-pub type VpKey = (VpKind, Reexecution, BranchResolution, u32);
-
-/// All sixteen VP configurations the paper sweeps.
-pub fn vp_keys() -> Vec<VpKey> {
-    let mut keys = Vec::new();
-    for kind in [VpKind::Magic, VpKind::Lvp] {
-        for re in [Reexecution::Me, Reexecution::Nme] {
-            for br in [BranchResolution::Sb, BranchResolution::Nsb] {
-                for vl in [0u32, 1] {
-                    keys.push((kind, re, br, vl));
-                }
-            }
-        }
-    }
-    keys
-}
-
-/// A full label like `magic:ME-SB:vl1` for a VP key.
-///
-/// Every component is included — predictor kind, re-execution policy,
-/// branch resolution, and verification latency — so all sixteen keys
-/// render distinctly (the seed's `ME-SB`-style label collapsed four
-/// configurations onto each label and collided in reports).
-pub fn vp_label(key: VpKey) -> String {
-    let (kind, re, br, vl) = key;
-    format!(
-        "{}:{}-{}:vl{}",
-        match kind {
-            VpKind::Magic => "magic",
-            VpKind::Lvp => "lvp",
-            VpKind::Stride => "stride",
-        },
-        match re {
-            Reexecution::Me => "ME",
-            Reexecution::Nme => "NME",
-        },
-        match br {
-            BranchResolution::Sb => "SB",
-            BranchResolution::Nsb => "NSB",
-        },
-        vl
-    )
-}
-
-fn vp_config(key: VpKey) -> VpConfig {
-    let (kind, re, br, vl) = key;
-    VpConfig {
-        kind,
-        reexecution: re,
-        branch_resolution: br,
-        verify_latency: vl,
-        ..VpConfig::magic()
-    }
-}
+// The label vocabulary lives in the mechanism registry (one source for
+// the matrix, `--inject-fault`, `vpir serve`, and the CLI); these
+// re-exports keep the crate's historical API intact.
+pub use vpir_mechanism::registry::{parse_vp_label, vp_keys, vp_label, VpKey};
 
 /// How large a matrix run to perform.
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +83,9 @@ pub struct BenchRuns {
     pub ir_early: SimStats,
     /// IR with validation deferred to execute (Figure 3).
     pub ir_late: SimStats,
+    /// The trace-reuse configurations, keyed by trace length
+    /// (`rtb:t4`, `rtb:t8`), in registry order.
+    pub rtb: BTreeMap<usize, SimStats>,
     /// The Section 4.3 functional limit study.
     pub limit: LimitStudy,
 }
@@ -166,6 +119,7 @@ impl Matrix {
                     + r.vp.values().map(|s| s.cycles).sum::<u64>()
                     + r.ir_early.cycles
                     + r.ir_late.cycles
+                    + r.rtb.values().map(|s| s.cycles).sum::<u64>()
             })
             .sum()
     }
@@ -173,7 +127,7 @@ impl Matrix {
     /// Number of cycle-level simulator runs (excludes the functional
     /// limit studies).
     pub fn sim_run_count(&self) -> usize {
-        self.runs.iter().map(|r| 3 + r.vp.len()).sum()
+        self.runs.iter().map(|r| 3 + r.vp.len() + r.rtb.len()).sum()
     }
 }
 
@@ -203,6 +157,7 @@ enum JobKind {
     Vp(VpKey),
     IrEarly,
     IrLate,
+    Rtb(RtbConfig),
     Limit,
 }
 
@@ -233,7 +188,9 @@ impl JobOut {
 fn job_kinds() -> Vec<JobKind> {
     let mut kinds = vec![JobKind::Base];
     kinds.extend(vp_keys().into_iter().map(JobKind::Vp));
-    kinds.extend([JobKind::IrEarly, JobKind::IrLate, JobKind::Limit]);
+    kinds.extend([JobKind::IrEarly, JobKind::IrLate]);
+    kinds.extend(registry::rtb_configs().into_iter().map(JobKind::Rtb));
+    kinds.push(JobKind::Limit);
     kinds
 }
 
@@ -245,58 +202,27 @@ fn job_label(kind: JobKind) -> String {
         JobKind::Vp(key) => vp_label(key),
         JobKind::IrEarly => "ir_early".to_string(),
         JobKind::IrLate => "ir_late".to_string(),
+        JobKind::Rtb(rtb) => rtb.label(),
         JobKind::Limit => "limit".to_string(),
     }
 }
 
 /// Every configuration label a matrix job can carry, in job order
-/// (`base`, the sixteen VP labels, `ir_early`, `ir_late`, `limit`).
-/// This is the vocabulary of `--inject-fault <bench>/<config>` targets
-/// and of the `config` field in `vpir serve` run requests.
+/// (`base`, the sixteen VP labels, `ir_early`, `ir_late`, the RTB
+/// labels, `limit`). This is the vocabulary of
+/// `--inject-fault <bench>/<config>` targets and of the `config` field
+/// in `vpir serve` run requests.
 pub fn config_labels() -> Vec<String> {
     job_kinds().into_iter().map(job_label).collect()
-}
-
-/// Parses a full VP label of the form `kind:RE-BR:vlN` (the inverse of
-/// [`vp_label`]).
-pub fn parse_vp_label(label: &str) -> Option<VpKey> {
-    let (kind, rest) = label.split_once(':')?;
-    let (policies, vl) = rest.split_once(':')?;
-    let (re, br) = policies.split_once('-')?;
-    let kind = match kind {
-        "magic" => VpKind::Magic,
-        "lvp" => VpKind::Lvp,
-        "stride" => VpKind::Stride,
-        _ => return None,
-    };
-    let re = match re {
-        "ME" => Reexecution::Me,
-        "NME" => Reexecution::Nme,
-        _ => return None,
-    };
-    let br = match br {
-        "SB" => BranchResolution::Sb,
-        "NSB" => BranchResolution::Nsb,
-        _ => return None,
-    };
-    let vl: u32 = vl.strip_prefix("vl")?.parse().ok()?;
-    Some((kind, re, br, vl))
 }
 
 /// The simulator configuration behind a matrix label: the inverse of
 /// [`job_label`](config_labels) for every cycle-level cell. `limit` has
 /// no machine configuration (it is the functional limit study), and an
-/// unknown label returns `None`.
+/// unknown label returns `None`. Resolution is delegated to the
+/// mechanism registry so every consumer shares one vocabulary.
 pub fn config_for_label(label: &str) -> Option<CoreConfig> {
-    match label {
-        "base" => Some(CoreConfig::table1()),
-        "ir_early" => Some(CoreConfig::with_ir(IrConfig::table1())),
-        "ir_late" => Some(CoreConfig::with_ir(IrConfig {
-            validation: Validation::Late,
-            ..IrConfig::table1()
-        })),
-        _ => parse_vp_label(label).map(|key| CoreConfig::with_vp(vp_config(key))),
-    }
+    registry::enhancement_for_label(label).map(CoreConfig::with_enhancement)
 }
 
 /// Runs one job. Each job constructs its own simulator over a shared,
@@ -315,6 +241,7 @@ fn run_job(prog: &Program, cfg: MatrixConfig, kind: JobKind) -> JobOut {
             validation: Validation::Late,
             ..IrConfig::table1()
         })),
+        JobKind::Rtb(rtb) => run(CoreConfig::with_rtb(rtb)),
         JobKind::Limit => JobOut::Limit(analyze(prog, cfg.limit_insts, LimitConfig::default())),
     }
 }
@@ -334,6 +261,10 @@ fn assemble_bench(
     }
     let ir_early = take(JobKind::IrEarly).into_stats();
     let ir_late = take(JobKind::IrLate).into_stats();
+    let mut rtb = BTreeMap::new();
+    for c in registry::rtb_configs() {
+        rtb.insert(c.max_len, take(JobKind::Rtb(c)).into_stats());
+    }
     let limit = take(JobKind::Limit).into_limit();
     BenchRuns {
         bench,
@@ -341,6 +272,7 @@ fn assemble_bench(
         vp,
         ir_early,
         ir_late,
+        rtb,
         limit,
     }
 }
@@ -498,6 +430,7 @@ fn run_job_checked(
             validation: Validation::Late,
             ..IrConfig::table1()
         })),
+        JobKind::Rtb(rtb) => run(CoreConfig::with_rtb(rtb)),
         JobKind::Limit => {
             if wedge {
                 // The limit study is functional (no pipeline to wedge);
@@ -803,6 +736,7 @@ pub fn run_matrix(cfg: MatrixConfig) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vpir_core::{BranchResolution, Reexecution, VpKind};
 
     #[test]
     fn vp_key_space_is_complete() {
@@ -831,12 +765,24 @@ mod tests {
                 JobKind::IrEarly | JobKind::IrLate => {
                     assert!(cfg.is_some(), "IR labels must resolve: {label}");
                 }
+                JobKind::Rtb(rtb) => {
+                    assert_eq!(cfg, Some(CoreConfig::with_rtb(rtb)));
+                }
             }
         }
         assert_eq!(config_labels().len(), job_kinds().len());
-        for bad in ["", "basex", "magic:ME-SB", "magic:XX-SB:vl1", "vl1"] {
+        for bad in ["", "basex", "magic:ME-SB", "magic:XX-SB:vl1", "vl1", "rtb:t5", "rtb:"] {
             assert!(config_for_label(bad).is_none(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn config_labels_match_the_registry_vocabulary() {
+        // Every machine label the registry exposes is a matrix cell, in
+        // the same order, plus the functional `limit` study at the end.
+        let mut expected = registry::machine_labels();
+        expected.push("limit".to_string());
+        assert_eq!(config_labels(), expected);
     }
 
     #[test]
@@ -851,7 +797,7 @@ mod tests {
     #[test]
     fn job_list_covers_every_config_once() {
         let kinds = job_kinds();
-        assert_eq!(kinds.len(), 20, "base + 16 VP + 2 IR + limit");
+        assert_eq!(kinds.len(), 22, "base + 16 VP + 2 IR + 2 RTB + limit");
         let uniq: std::collections::BTreeSet<String> =
             kinds.iter().map(|k| format!("{k:?}")).collect();
         assert_eq!(uniq.len(), kinds.len());
@@ -885,10 +831,12 @@ mod tests {
     fn every_job_kind_has_a_distinct_label() {
         let labels: std::collections::BTreeSet<String> =
             job_kinds().into_iter().map(job_label).collect();
-        assert_eq!(labels.len(), 20);
+        assert_eq!(labels.len(), 22);
         assert!(labels.contains("base"));
         assert!(labels.contains("ir_early"));
         assert!(labels.contains("ir_late"));
+        assert!(labels.contains("rtb:t4"));
+        assert!(labels.contains("rtb:t8"));
         assert!(labels.contains("limit"));
     }
 
@@ -903,6 +851,10 @@ mod tests {
         assert!(runs.base.committed > 0);
         assert_eq!(runs.vp.len(), 16);
         assert!(runs.ir_early.committed > 0);
+        assert_eq!(runs.rtb.len(), 2, "one cell per RTB configuration");
+        for stats in runs.rtb.values() {
+            assert!(stats.committed > 0, "RTB cells must make progress");
+        }
         assert!(runs.limit.total > 0);
         assert!(runs.speedup(&runs.ir_early) > 0.1);
     }

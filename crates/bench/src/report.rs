@@ -373,6 +373,90 @@ pub fn fig10(m: &Matrix) -> String {
     )
 }
 
+/// Trace reuse (RTB) against the paper's two mechanisms: speedup side
+/// by side with IR and the magic value predictor, plus the trace-level
+/// rates that explain the gap. The per-instruction-type and
+/// per-loop-depth attribution is in each run's `SimStats::report()`.
+pub fn rtb_table(m: &Matrix) -> String {
+    let magic: VpKey = (VpKind::Magic, Reexecution::Me, BranchResolution::Sb, 0);
+    let mut t = Table::new(&[
+        "Bench",
+        "IR sp",
+        "VP sp",
+        "t4 sp",
+        "t8 sp",
+        "t8 reuse%",
+        "t8 len",
+        "t8 abort%",
+    ]);
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for r in &m.runs {
+        let mut row = vec![r.bench.name().to_string()];
+        let speedups = [
+            r.speedup(&r.ir_early),
+            r.speedup(&r.vp[&magic]),
+            r.rtb.get(&4).map_or(1.0, |s| r.speedup(s)),
+            r.rtb.get(&8).map_or(1.0, |s| r.speedup(s)),
+        ];
+        for (col, sp) in cols.iter_mut().zip(speedups) {
+            col.push(sp);
+            row.push(fmt2(sp));
+        }
+        if let Some(s) = r.rtb.get(&8) {
+            let replays = s.rtb.replays.max(1) as f64;
+            row.push(fmt(s.rtb.committed_reuse_pct(s.committed)));
+            row.push(fmt2(s.rtb.mean_trace_len()));
+            row.push(fmt(100.0 * s.rtb.aborted as f64 / replays));
+        } else {
+            row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
+        }
+        t.row_owned(row);
+    }
+    let mut hm_row = vec!["HM".to_string()];
+    for col in &cols {
+        hm_row.push(fmt2(harmonic_mean(col.iter().copied()).unwrap_or(0.0)));
+    }
+    hm_row.extend(["".to_string(), "".to_string(), "".to_string()]);
+    t.row_owned(hm_row);
+
+    // Where the trace-reuse pipeline loses captures (invalidated by a
+    // squash before install, or dropped as unclassifiable), and where
+    // the committed reuse lands: dominant instruction class and the
+    // loop-depth distribution (depth 0 = straight-line, 4+ pooled).
+    let mut attr = Table::new(&[
+        "Bench", "captured", "inv", "drop", "top class", "d0%", "d1%", "d2%", "d3%", "d4+%",
+    ]);
+    for r in &m.runs {
+        let Some(s) = r.rtb.get(&8) else { continue };
+        let reused = s.rtb.committed_reused.max(1) as f64;
+        let top = vpir_mechanism::CLASS_NAMES
+            .iter()
+            .zip(s.rtb.per_class)
+            .max_by_key(|&(_, n)| n)
+            .map_or("-", |(name, _)| name);
+        let mut row = vec![
+            r.bench.name().to_string(),
+            s.rtb.captured.to_string(),
+            s.rtb.pending_squashed.to_string(),
+            s.rtb.dropped.to_string(),
+            top.to_string(),
+        ];
+        for d in s.rtb.per_depth {
+            row.push(fmt(100.0 * d as f64 / reused));
+        }
+        attr.row_owned(row);
+    }
+    format!(
+        "Trace reuse: speedup vs IR and VP_Magic (ME-SB, vl0), with the\n\
+         fraction of committed instructions that arrived via trace replay,\n\
+         the mean installed trace length, and the replay abort rate\n\n{}\n\
+         Trace reuse attribution (rtb:t8): capture losses, the dominant\n\
+         reused instruction class, and committed reuse by loop depth\n\n{}",
+        t.render(),
+        attr.render()
+    )
+}
+
 /// Machine-readable export: one CSV row per (benchmark, configuration)
 /// with the headline metrics, for external plotting.
 pub fn csv(m: &Matrix) -> String {
@@ -406,6 +490,9 @@ pub fn csv(m: &Matrix) -> String {
         for (key, stats) in &r.vp {
             emit(&format!("vp-{}", vp_label(*key)), stats);
         }
+        for (len, stats) in &r.rtb {
+            emit(&format!("rtb-t{len}"), stats);
+        }
     }
     out
 }
@@ -426,6 +513,7 @@ pub fn all(m: &Matrix) -> String {
         fig8(m),
         fig9(m),
         fig10(m),
+        rtb_table(m),
     ]
     .join("\n")
 }
@@ -464,6 +552,7 @@ mod tests {
             ("fig8", fig8(&m)),
             ("fig9", fig9(&m)),
             ("fig10", fig10(&m)),
+            ("rtb_table", rtb_table(&m)),
         ] {
             assert!(render.contains("ijpeg"), "{name} must list benchmarks:\n{render}");
             assert!(render.lines().count() >= 4, "{name} too short");
@@ -476,10 +565,11 @@ mod tests {
         let m = tiny_matrix();
         let csv = csv(&m);
         let lines: Vec<&str> = csv.lines().collect();
-        // header + 2 benchmarks x (base + 2 IR + 16 VP)
-        assert_eq!(lines.len(), 1 + 2 * 19, "{csv}");
+        // header + 2 benchmarks x (base + 2 IR + 16 VP + 2 RTB)
+        assert_eq!(lines.len(), 1 + 2 * 21, "{csv}");
         assert!(lines[0].starts_with("bench,config,ipc"));
         assert!(csv.contains("ijpeg,base,"));
         assert!(csv.contains("compress,ir-early,"));
+        assert!(csv.contains("ijpeg,rtb-t8,"));
     }
 }

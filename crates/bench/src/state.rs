@@ -21,6 +21,7 @@ use vpir_mem::CacheStats;
 use vpir_predict::VptStats;
 use vpir_redundancy::LimitStudy;
 use vpir_reuse::ReuseStats;
+use vpir_stats::RtbStats;
 
 pub use vpir_jsonlite::{json_escape, parse_json, JsonValue};
 
@@ -65,13 +66,37 @@ fn rb_to_json(r: &ReuseStats) -> String {
         .finish()
 }
 
+fn u64_array_json(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn rtb_to_json(r: &RtbStats) -> String {
+    Obj::new()
+        .u("captured", r.captured)
+        .u("pending_squashed", r.pending_squashed)
+        .u("installed", r.installed)
+        .u("dropped", r.dropped)
+        .u("replays", r.replays)
+        .u("replayed_insts", r.replayed_insts)
+        .u("aborted", r.aborted)
+        .u("committed_reused", r.committed_reused)
+        .raw("per_class", &u64_array_json(&r.per_class))
+        .raw("per_depth", &u64_array_json(&r.per_depth))
+        .finish()
+}
+
 /// Serializes a full [`SimStats`] as a JSON object.
+///
+/// The `rtb` block is emitted only when trace reuse actually ran (the
+/// stats differ from the all-zero default): every pre-RTB job file and
+/// golden digest stays byte-identical for the base/VP/IR configurations.
 pub fn stats_to_json(s: &SimStats) -> String {
     let histogram = format!(
         "[{}, {}, {}, {}]",
         s.exec_histogram[0], s.exec_histogram[1], s.exec_histogram[2], s.exec_histogram[3]
     );
-    Obj::new()
+    let o = Obj::new()
         .u("cycles", s.cycles)
         .u("committed", s.committed)
         .u("dispatched", s.dispatched)
@@ -103,8 +128,11 @@ pub fn stats_to_json(s: &SimStats) -> String {
         .raw("dcache", &cache_to_json(&s.dcache))
         .raw("vpt_result", &vpt_to_json(&s.vpt_result))
         .raw("vpt_addr", &vpt_to_json(&s.vpt_addr))
-        .raw("rb", &rb_to_json(&s.rb))
-        .finish()
+        .raw("rb", &rb_to_json(&s.rb));
+    if s.rtb != RtbStats::default() {
+        return o.raw("rtb", &rtb_to_json(&s.rtb)).finish();
+    }
+    o.finish()
 }
 
 /// Serializes a [`LimitStudy`] as a JSON object.
@@ -171,6 +199,38 @@ fn rb_from_json(v: &JsonValue) -> Result<ReuseStats, String> {
     })
 }
 
+fn u_arr<const N: usize>(v: &JsonValue, key: &str) -> Result<[u64; N], String> {
+    let arr = v
+        .get(key)
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("missing array `{key}`"))?;
+    if arr.len() != N {
+        return Err(format!("{key} has {} entries, want {N}", arr.len()));
+    }
+    let mut out = [0u64; N];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = item
+            .as_u64()
+            .ok_or_else(|| format!("non-integer entry in {key}"))?;
+    }
+    Ok(out)
+}
+
+fn rtb_from_json(v: &JsonValue) -> Result<RtbStats, String> {
+    Ok(RtbStats {
+        captured: u(v, "captured")?,
+        pending_squashed: u(v, "pending_squashed")?,
+        installed: u(v, "installed")?,
+        dropped: u(v, "dropped")?,
+        replays: u(v, "replays")?,
+        replayed_insts: u(v, "replayed_insts")?,
+        aborted: u(v, "aborted")?,
+        committed_reused: u(v, "committed_reused")?,
+        per_class: u_arr(v, "per_class")?,
+        per_depth: u_arr(v, "per_depth")?,
+    })
+}
+
 fn sub<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
     v.get(key).ok_or_else(|| format!("missing object `{key}`"))
 }
@@ -226,6 +286,11 @@ pub fn stats_from_json(v: &JsonValue) -> Result<SimStats, String> {
         vpt_result: vpt_from_json(sub(v, "vpt_result")?)?,
         vpt_addr: vpt_from_json(sub(v, "vpt_addr")?)?,
         rb: rb_from_json(sub(v, "rb")?)?,
+        // Absent in every pre-RTB job file and in non-RTB runs.
+        rtb: match v.get("rtb") {
+            Some(r) => rtb_from_json(r)?,
+            None => RtbStats::default(),
+        },
     })
 }
 
@@ -418,6 +483,18 @@ mod tests {
                 addr_reuses: 52,
                 misses: 53,
             },
+            rtb: RtbStats {
+                captured: 54,
+                pending_squashed: 55,
+                installed: 56,
+                dropped: 57,
+                replays: 58,
+                replayed_insts: 59,
+                aborted: 60,
+                committed_reused: 61,
+                per_class: [62, 63, 64, 65, 66, 67, 68, 69, 70],
+                per_depth: [71, 72, 73, 74, 75],
+            },
         }
     }
 
@@ -426,6 +503,22 @@ mod tests {
         let stats = full_stats();
         let v = parse_json(&stats_to_json(&stats)).expect("parse");
         assert_eq!(stats_from_json(&v).expect("decode"), stats);
+    }
+
+    /// The `rtb` block must stay out of non-RTB documents (existing
+    /// golden digests hash exactly the old byte stream) yet round-trip
+    /// when present.
+    #[test]
+    fn rtb_block_is_conditional_and_defaulted() {
+        let mut stats = full_stats();
+        stats.rtb = RtbStats::default();
+        let text = stats_to_json(&stats);
+        assert!(!text.contains("\"rtb\""), "default RTB stats must not serialize");
+        let v = parse_json(&text).expect("parse");
+        assert_eq!(stats_from_json(&v).expect("decode"), stats);
+
+        let with_rtb = full_stats();
+        assert!(stats_to_json(&with_rtb).contains("\"rtb\""));
     }
 
     #[test]

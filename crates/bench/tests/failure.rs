@@ -47,8 +47,8 @@ fn injected_wedge_degrades_one_cell_and_spares_the_rest() {
     };
 
     let outcome = run_matrix_outcome(&benches, &progs, cfg, 4, &opts);
-    assert_eq!(outcome.total_jobs, 20);
-    assert_eq!(outcome.completed_jobs, 19, "19 valid cells out of 20");
+    assert_eq!(outcome.total_jobs, 22);
+    assert_eq!(outcome.completed_jobs, 21, "21 valid cells out of 22");
     assert_eq!(outcome.failures.len(), 1);
     assert!(outcome.matrix.is_none(), "a failed cell means no full matrix");
 
@@ -69,7 +69,7 @@ fn injected_wedge_degrades_one_cell_and_spares_the_rest() {
 
     // Every healthy cell left a reloadable job file; the failed cell
     // left none.
-    for i in 0..20 {
+    for i in 0..22 {
         let loaded = state::load_job(&dump, i);
         if i == failure.job_index {
             assert!(loaded.is_none(), "failed cell must not persist a result");
@@ -86,7 +86,7 @@ fn resume_completes_a_faulted_run_bit_identical_to_sequential() {
     let progs = build_programs(&benches, cfg.scale);
     let dump = scratch("resume-bit-identical");
 
-    // First pass: wedge one Compress cell; 39 of 40 cells persist.
+    // First pass: wedge one Compress cell; 43 of 44 cells persist.
     let faulted = RunOptions {
         dump_dir: Some(dump.clone()),
         resume: false,
@@ -94,10 +94,10 @@ fn resume_completes_a_faulted_run_bit_identical_to_sequential() {
     };
     let first = run_matrix_outcome(&benches, &progs, cfg, 4, &faulted);
     assert_eq!(first.failures.len(), 1);
-    assert_eq!(first.completed_jobs, 39);
+    assert_eq!(first.completed_jobs, 43);
 
     // Second pass: resume without the fault. Only the one missing cell
-    // re-executes; the 39 persisted cells reload exactly.
+    // re-executes; the 43 persisted cells reload exactly.
     let resume = RunOptions {
         dump_dir: Some(dump.clone()),
         resume: true,
@@ -105,8 +105,8 @@ fn resume_completes_a_faulted_run_bit_identical_to_sequential() {
     };
     let second = run_matrix_outcome(&benches, &progs, cfg, 4, &resume);
     assert!(second.fully_completed(), "resume fills the failed cell");
-    assert_eq!(second.resumed_jobs, 39);
-    assert_eq!(second.completed_jobs, 40);
+    assert_eq!(second.resumed_jobs, 43);
+    assert_eq!(second.completed_jobs, 44);
 
     // The resumed matrix is bit-identical to an uninterrupted
     // single-worker run: persistence must be invisible in the results.
@@ -135,7 +135,7 @@ fn an_injected_panic_is_contained_by_the_worker_boundary() {
     assert_eq!(failure.kind, "panic");
     assert!(failure.error.contains("injected fault"), "{}", failure.error);
     assert!(failure.dump_path.is_none(), "no dump dir, no dump path");
-    assert_eq!(outcome.completed_jobs, 19, "the other 19 cells still ran");
+    assert_eq!(outcome.completed_jobs, 21, "the other 21 cells still ran");
 }
 
 #[test]
@@ -192,6 +192,6 @@ fn v2_report_json_validates_and_carries_the_failure_row() {
     validate_json(&json, REQUIRED_KEYS).expect("v2 schema validates");
     assert!(json.contains("vpir-bench-matrix-v2"));
     assert!(json.contains("\"config\": \"limit\""));
-    assert!(json.contains("\"completed_jobs\": 19"));
-    assert!(perf.summary().contains("1 of 20 cells FAILED"));
+    assert!(json.contains("\"completed_jobs\": 21"));
+    assert!(perf.summary().contains("1 of 22 cells FAILED"));
 }

@@ -29,7 +29,7 @@ fn parallel_matrix_is_bit_identical_to_sequential() {
 fn scheduler_matches_the_plain_sequential_runner() {
     let cfg = tiny();
     let direct = run_bench(Bench::Go, cfg);
-    // More workers than the 20 jobs one benchmark yields: idle threads
+    // More workers than the 22 jobs one benchmark yields: idle threads
     // must exit cleanly without disturbing the result order.
     let scheduled = run_benches_jobs(&[Bench::Go], cfg, 64);
     assert_eq!(scheduled.runs.len(), 1);

@@ -1,155 +1,21 @@
 //! Simulator configuration.
 //!
 //! [`CoreConfig::table1`] reproduces the paper's base machine exactly;
-//! the [`Enhancement`] field selects the baseline, one of the four VP
-//! configurations at either verification latency, or IR with early or
-//! late validation.
+//! the [`Enhancement`] field selects the baseline, one of the VP
+//! configurations at either verification latency, IR with early or late
+//! validation, or trace reuse. The per-mechanism configuration types
+//! (`VpConfig`, `IrConfig`, `RtbConfig`, `Enhancement`, ...) live in
+//! `vpir-mechanism` next to the mechanisms themselves and are
+//! re-exported here so existing `use vpir_core::{VpConfig, ...}`
+//! imports keep working.
 
 use vpir_isa::FuClass;
 use vpir_mem::CacheConfig;
-use vpir_predict::VptConfig;
-use vpir_reuse::RbConfig;
 
-/// Which value predictor drives the VPT.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum VpKind {
-    /// `VP_Magic`: last-*n*-unique-values with oracle selection.
-    Magic,
-    /// `VP_LVP`: last-value predictor.
-    Lvp,
-    /// `VP_Stride`: two-delta stride predictor (captures the paper's
-    /// *derivable* results, which neither LVP nor Magic track).
-    Stride,
-}
-
-/// How branches with value-speculative operands are resolved
-/// (Section 4.1.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum BranchResolution {
-    /// *Speculative branch resolution*: resolve as soon as the branch
-    /// executes, even on value-speculative operands (may cause spurious
-    /// squashes).
-    Sb,
-    /// *Non-speculative branch resolution*: resolve only once the
-    /// operands are known non-value-speculative (delays resolution by the
-    /// verification latency).
-    Nsb,
-}
-
-/// How often an instruction may re-execute after value mispredictions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Reexecution {
-    /// *Multiple executions*: re-execute every time a new input value
-    /// arrives.
-    Me,
-    /// *No multiple executions*: re-execute once, after the correct
-    /// operands are known.
-    Nme,
-}
-
-/// When IR validates results (Figure 3's experiment).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Validation {
-    /// At decode, the real IR pipeline: reused instructions skip execute,
-    /// reused branches resolve immediately.
-    Early,
-    /// At execute: reuse behaves like an always-correct value prediction
-    /// (the instruction still executes and resolves branches there).
-    Late,
-}
-
-/// Value-prediction configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct VpConfig {
-    /// The predictor.
-    pub kind: VpKind,
-    /// SB or NSB branch handling.
-    pub branch_resolution: BranchResolution,
-    /// ME or NME re-execution policy.
-    pub reexecution: Reexecution,
-    /// VP-verification latency in cycles (the paper uses 0 and 1).
-    pub verify_latency: u32,
-    /// Geometry of the result VPT (and of the address VPT).
-    pub vpt: VptConfig,
-    /// Whether load effective addresses are also predicted.
-    pub predict_addresses: bool,
-}
-
-impl VpConfig {
-    /// `VP_Magic`, ME-SB, 0-cycle verification — the paper's headline
-    /// configuration.
-    pub fn magic() -> VpConfig {
-        VpConfig {
-            kind: VpKind::Magic,
-            branch_resolution: BranchResolution::Sb,
-            reexecution: Reexecution::Me,
-            verify_latency: 0,
-            vpt: VptConfig::table1(),
-            predict_addresses: true,
-        }
-    }
-
-    /// `VP_LVP`, ME-SB, 0-cycle verification.
-    pub fn lvp() -> VpConfig {
-        VpConfig {
-            kind: VpKind::Lvp,
-            ..VpConfig::magic()
-        }
-    }
-
-    /// Returns `self` with the given branch-resolution policy.
-    pub fn with_branches(mut self, br: BranchResolution) -> VpConfig {
-        self.branch_resolution = br;
-        self
-    }
-
-    /// Returns `self` with the given re-execution policy.
-    pub fn with_reexecution(mut self, re: Reexecution) -> VpConfig {
-        self.reexecution = re;
-        self
-    }
-
-    /// Returns `self` with the given verification latency.
-    pub fn with_verify_latency(mut self, cycles: u32) -> VpConfig {
-        self.verify_latency = cycles;
-        self
-    }
-
-    /// A short label like `"ME-SB"` for reports.
-    pub fn label(&self) -> String {
-        format!(
-            "{}-{}",
-            match self.reexecution {
-                Reexecution::Me => "ME",
-                Reexecution::Nme => "NME",
-            },
-            match self.branch_resolution {
-                BranchResolution::Sb => "SB",
-                BranchResolution::Nsb => "NSB",
-            }
-        )
-    }
-}
-
-/// Instruction-reuse configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IrConfig {
-    /// Reuse-buffer geometry and scheme.
-    pub rb: RbConfig,
-    /// Early (real IR) or late (Figure 3) validation.
-    pub validation: Validation,
-}
-
-impl IrConfig {
-    /// The paper's IR configuration: 4K-entry 4-way RB, augmented
-    /// `S_{n+d}`, early validation.
-    pub fn table1() -> IrConfig {
-        IrConfig {
-            rb: RbConfig::table1(),
-            validation: Validation::Early,
-        }
-    }
-}
+pub use vpir_mechanism::{
+    BranchResolution, Enhancement, IrConfig, Reexecution, RtbConfig, Validation, VpConfig,
+    VpKind,
+};
 
 /// Which direction predictor drives the front end (Table 1 uses gshare;
 /// the alternatives support sensitivity studies of how VP's and IR's
@@ -184,22 +50,6 @@ pub enum FaultInjection {
         /// Commit count after which the commit stage wedges.
         after_commits: u64,
     },
-}
-
-/// The redundancy mechanism under study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Enhancement {
-    /// The base superscalar — no VP, no IR.
-    None,
-    /// Value prediction.
-    Vp(VpConfig),
-    /// Instruction reuse.
-    Ir(IrConfig),
-    /// The hybrid the paper's conclusion calls for: the non-speculative
-    /// reuse test runs first; instructions that miss in the RB fall back
-    /// to value prediction. Reused results need no verification; only
-    /// the predicted remainder is value-speculative.
-    Hybrid(VpConfig, IrConfig),
 }
 
 /// Full machine configuration (Table 1 defaults).
@@ -293,29 +143,33 @@ impl CoreConfig {
         }
     }
 
-    /// Table 1 machine with a VP configuration.
-    pub fn with_vp(vp: VpConfig) -> CoreConfig {
+    /// Table 1 machine with the given enhancement.
+    pub fn with_enhancement(enhancement: Enhancement) -> CoreConfig {
         CoreConfig {
-            enhancement: Enhancement::Vp(vp),
+            enhancement,
             ..CoreConfig::table1()
         }
     }
 
+    /// Table 1 machine with a VP configuration.
+    pub fn with_vp(vp: VpConfig) -> CoreConfig {
+        CoreConfig::with_enhancement(Enhancement::Vp(vp))
+    }
+
     /// Table 1 machine with an IR configuration.
     pub fn with_ir(ir: IrConfig) -> CoreConfig {
-        CoreConfig {
-            enhancement: Enhancement::Ir(ir),
-            ..CoreConfig::table1()
-        }
+        CoreConfig::with_enhancement(Enhancement::Ir(ir))
     }
 
     /// Table 1 machine with the VP+IR hybrid (reuse first, predict on a
     /// reuse miss).
     pub fn with_hybrid(vp: VpConfig, ir: IrConfig) -> CoreConfig {
-        CoreConfig {
-            enhancement: Enhancement::Hybrid(vp, ir),
-            ..CoreConfig::table1()
-        }
+        CoreConfig::with_enhancement(Enhancement::Hybrid(vp, ir))
+    }
+
+    /// Table 1 machine with a trace-reuse (RTB) configuration.
+    pub fn with_rtb(rtb: RtbConfig) -> CoreConfig {
+        CoreConfig::with_enhancement(Enhancement::Rtb(rtb))
     }
 
     /// Validates internal consistency.
@@ -365,6 +219,18 @@ mod tests {
                 .with_reexecution(Reexecution::Nme)
                 .label(),
             "NME-NSB"
+        );
+    }
+
+    #[test]
+    fn enhancement_constructors_agree() {
+        assert_eq!(
+            CoreConfig::with_rtb(RtbConfig::t8()),
+            CoreConfig::with_enhancement(Enhancement::Rtb(RtbConfig::t8()))
+        );
+        assert_eq!(
+            CoreConfig::with_ir(IrConfig::table1()).enhancement,
+            Enhancement::Ir(IrConfig::table1())
         );
     }
 

@@ -43,7 +43,7 @@ mod trace;
 
 pub use config::{
     BranchResolution, CoreConfig, Enhancement, FaultInjection, FrontEnd, IrConfig,
-    Reexecution, Validation, VpConfig, VpKind,
+    Reexecution, RtbConfig, Validation, VpConfig, VpKind,
 };
 pub use error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 pub use fu::FuPool;

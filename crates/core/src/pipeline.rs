@@ -21,13 +21,15 @@ use vpir_isa::{
     execute, Inst, IntMap, LoadSource, Op, OpClass, Program, Reg, RegFile, INST_BYTES,
     STACK_TOP,
 };
+use vpir_mechanism::{
+    build_mechanisms, CommitEffects, CommitEvent, CommitMem, DispatchAction, DispatchQuery,
+    MechExport, MemberPlan, ReplayQuery, ReuseGrant, SpeculationMechanism, SquashVictim,
+};
 use vpir_mem::{Cache, PortArbiter};
-use vpir_predict::{LastValuePredictor, MagicPredictor, StridePredictor, ValuePredictor};
-use vpir_reuse::{OperandView, RbInsert, RbMem, ReuseBuffer};
+use vpir_reuse::{OperandView, RbInsert, RbMem};
 
 use crate::config::{
     BranchResolution, CoreConfig, Enhancement, FaultInjection, FrontEnd, Reexecution,
-    Validation, VpKind,
 };
 use crate::error::{DiagSnapshot, RetiredInst, SimError, RETIRED_RING};
 use crate::fu::FuPool;
@@ -68,47 +70,6 @@ impl RunLimits {
         RunLimits {
             max_cycles: u64::MAX / 4,
             max_insts: insts,
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-enum Vp {
-    Magic(MagicPredictor),
-    Lvp(LastValuePredictor),
-    Stride(StridePredictor),
-}
-
-impl Vp {
-    fn new(kind: VpKind, vpt: vpir_predict::VptConfig) -> Vp {
-        match kind {
-            VpKind::Magic => Vp::Magic(MagicPredictor::new(vpt)),
-            VpKind::Lvp => Vp::Lvp(LastValuePredictor::new(vpt)),
-            VpKind::Stride => Vp::Stride(StridePredictor::new(vpt)),
-        }
-    }
-
-    fn predict(&mut self, pc: u64, oracle: Option<u64>) -> Option<u64> {
-        match self {
-            Vp::Magic(p) => p.predict(pc, oracle),
-            Vp::Lvp(p) => p.predict(pc, oracle),
-            Vp::Stride(p) => p.predict(pc, oracle),
-        }
-    }
-
-    fn train(&mut self, pc: u64, actual: u64) {
-        match self {
-            Vp::Magic(p) => p.train(pc, actual),
-            Vp::Lvp(p) => p.train(pc, actual),
-            Vp::Stride(p) => p.train(pc, actual),
-        }
-    }
-
-    fn stats(&self) -> vpir_predict::VptStats {
-        match self {
-            Vp::Magic(p) => p.stats(),
-            Vp::Lvp(p) => p.stats(),
-            Vp::Stride(p) => p.stats(),
         }
     }
 }
@@ -330,10 +291,13 @@ pub struct Simulator {
     dports: PortArbiter,
     fus: FuPool,
 
-    // Enhancements.
-    vp_result: Option<Vp>,
-    vp_addr: Option<Vp>,
-    rb: Option<ReuseBuffer>,
+    // Speculation mechanisms (trait tenants), driven in registry order.
+    // The capability flags cache `Vec`-wide `any()` queries so the hot
+    // loop skips query construction wholesale when nothing wants it.
+    mechs: Vec<Box<dyn SpeculationMechanism + Send>>,
+    mech_wants_exec: bool,
+    mech_has_replay: bool,
+    replay_plans: Vec<MemberPlan>,
     reuse_profile: IntMap<u64, (u64, u64)>,
     pc_profile: BTreeMap<u64, PcStats>,
     trace: Option<TraceLog>,
@@ -366,20 +330,9 @@ impl Simulator {
         let arch_regs = regs.clone();
         let spec = SpecState::from_parts(regs, mem);
 
-        let (vp_result, vp_addr, rb) = match &config.enhancement {
-            Enhancement::None => (None, None, None),
-            Enhancement::Vp(vp) => (
-                Some(Vp::new(vp.kind, vp.vpt)),
-                vp.predict_addresses.then(|| Vp::new(vp.kind, vp.vpt)),
-                None,
-            ),
-            Enhancement::Ir(ir) => (None, None, Some(ReuseBuffer::new(ir.rb))),
-            Enhancement::Hybrid(vp, ir) => (
-                Some(Vp::new(vp.kind, vp.vpt)),
-                vp.predict_addresses.then(|| Vp::new(vp.kind, vp.vpt)),
-                Some(ReuseBuffer::new(ir.rb)),
-            ),
-        };
+        let mechs = build_mechanisms(&config.enhancement, program);
+        let mech_wants_exec = mechs.iter().any(|m| m.wants_exec_records());
+        let mech_has_replay = mechs.iter().any(|m| m.has_replay());
 
         Simulator {
             fetch_pc: program.entry,
@@ -402,9 +355,10 @@ impl Simulator {
             dcache: Cache::new(config.dcache),
             dports: PortArbiter::new(config.dcache_ports),
             fus: FuPool::new(config.fu_counts),
-            vp_result,
-            vp_addr,
-            rb,
+            mechs,
+            mech_wants_exec,
+            mech_has_replay,
+            replay_plans: Vec::new(),
             reuse_profile: IntMap::default(),
             pc_profile: BTreeMap::new(),
             trace: (config.trace_capacity > 0)
@@ -547,14 +501,21 @@ impl Simulator {
         let (fr, fd) = self.fus.totals();
         self.stats.fu_requests = fr;
         self.stats.fu_denials = fd;
-        if let Some(vp) = &self.vp_result {
-            self.stats.vpt_result = vp.stats();
+        let mut ex = MechExport::default();
+        for m in &self.mechs {
+            m.export(&mut ex);
         }
-        if let Some(vp) = &self.vp_addr {
-            self.stats.vpt_addr = vp.stats();
+        if let Some(v) = ex.vpt_result {
+            self.stats.vpt_result = v;
         }
-        if let Some(rb) = &self.rb {
-            self.stats.rb = rb.stats();
+        if let Some(v) = ex.vpt_addr {
+            self.stats.vpt_addr = v;
+        }
+        if let Some(v) = ex.rb {
+            self.stats.rb = v;
+        }
+        if let Some(v) = ex.rtb {
+            self.stats.rtb = v;
         }
     }
 
@@ -699,6 +660,22 @@ impl Simulator {
                 return Err(format!("seq {seq} is both reused and value-predicted"));
             }
         }
+        for slot in self.rob.slots_in_order() {
+            if !self.rob.trace_reused.test(slot) {
+                continue;
+            }
+            let seq = self.rob.seq[slot];
+            if self.rob.reused.test(slot) || self.rob.predicted[slot].is_some() {
+                return Err(format!(
+                    "seq {seq} is both a trace member and RB-reused/value-predicted"
+                ));
+            }
+            if self.rob.has_flag(slot, flag::HAS_CTRL) && !self.rob.ctrl_out.test(slot) {
+                return Err(format!(
+                    "trace-reused control seq {seq} has no computed outcome"
+                ));
+            }
+        }
         for (reg, (slot, seq)) in self.map.entries() {
             if self.rob.is_live(slot)
                 && self.rob.seq[slot] == seq
@@ -765,7 +742,10 @@ impl Simulator {
         }
         if self.rob.has_flag(slot, flag::HAS_MEM) {
             let mem = &self.rob.mem[slot];
-            if mem.is_load && !self.rob.reused.test(slot) {
+            if mem.is_load
+                && !self.rob.reused.test(slot)
+                && !self.rob.trace_reused.test(slot)
+            {
                 // The load's access must have completed at the true address.
                 let done = mem
                     .access_finish
@@ -796,6 +776,7 @@ impl Simulator {
         let exec_count = self.rob.exec_count[slot];
         let reused = self.rob.reused.test(slot);
         let addr_reused = self.rob.addr_reused.test(slot);
+        let trace_reused = self.rob.trace_reused.test(slot);
         let reuse_source = self.rob.reuse_source[slot];
         let predicted = self.rob.predicted[slot];
         let addr_predicted = self.rob.addr_predicted[slot];
@@ -836,9 +817,6 @@ impl Simulator {
         // Architected register state.
         if let (Some(dst), Some(v)) = (inst.dst, out.result) {
             self.arch_regs.write(dst, v);
-            if let Some(rb) = self.rb.as_mut() {
-                rb.on_reg_write(dst, v);
-            }
         }
         // Free the rename-map entry if it still points at this
         // instruction. Only our own destination register can — map slots
@@ -853,15 +831,10 @@ impl Simulator {
         // Memory-side bookkeeping.
         if let Some(mem) = &mem {
             self.stats.mem_ops += 1;
-            if !mem.is_load {
-                let Some(addr) = out.addr else {
-                    return Err(
-                        self.internal_error("committed store has no architectural address")
-                    );
-                };
-                if let Some(rb) = self.rb.as_mut() {
-                    rb.on_store(addr, mem.width);
-                }
+            if !mem.is_load && out.addr.is_none() {
+                return Err(
+                    self.internal_error("committed store has no architectural address")
+                );
             }
         }
 
@@ -906,13 +879,11 @@ impl Simulator {
             }
         }
 
-        // Value-prediction training and accounting.
+        // Value-prediction accounting (training happens in the
+        // mechanisms' commit hooks below).
         if inst.dst.is_some() && inst.op.class() != OpClass::Jump {
             if let Some(actual) = out.result {
                 self.stats.result_producers += 1;
-                if let Some(vp) = self.vp_result.as_mut() {
-                    vp.train(pc, actual);
-                }
                 if let Some(p) = predicted {
                     self.stats.result_predicted += 1;
                     if p == actual {
@@ -931,15 +902,40 @@ impl Simulator {
                         self.internal_error("committed load has no architectural address")
                     );
                 };
-                if let Some(vp) = self.vp_addr.as_mut() {
-                    vp.train(pc, actual);
-                }
                 if let Some(p) = addr_predicted {
                     self.stats.addr_predicted += 1;
                     if p == actual {
                         self.stats.addr_pred_correct += 1;
                     }
                 }
+            }
+        }
+
+        // Mechanism commit hooks: table training (VPT, RB liveness,
+        // RTB installs) happens here, after the architected state and
+        // accounting above are settled.
+        if !self.mechs.is_empty() {
+            let ev = CommitEvent {
+                seq,
+                pc,
+                inst,
+                result: out.result,
+                addr: out.addr,
+                mem: mem.as_ref().map(|m| CommitMem {
+                    is_load: m.is_load,
+                    width: m.width,
+                }),
+                reused,
+                addr_reused,
+                trace_reused,
+                reuse_source,
+            };
+            let mut fx = CommitEffects::default();
+            for m in self.mechs.iter_mut() {
+                m.on_commit(&ev, &mut fx);
+            }
+            if fx.squash_recovered {
+                self.stats.squash_recovered += 1;
             }
         }
 
@@ -957,13 +953,6 @@ impl Simulator {
         if addr_reused || (reused && mem.is_some()) {
             self.stats.reused_addr += 1;
             self.reuse_profile.entry(pc).or_default().1 += 1;
-        }
-        if reused || addr_reused {
-            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), reuse_source) {
-                if rb.take_flag(entry) {
-                    self.stats.squash_recovered += 1;
-                }
-            }
         }
 
         // Execution-count histogram (Table 6).
@@ -1115,10 +1104,11 @@ impl Simulator {
             }
         }
 
-        // Record completed work in the reuse buffer (including wrong-path
-        // work — that is how IR recovers squashed effort).
+        // Offer completed work to any mechanism that records execution
+        // results (including wrong-path work — that is how IR recovers
+        // squashed effort).
         if inputs_correct {
-            self.record_in_rb(slot);
+            self.record_exec(slot);
         }
     }
 
@@ -1129,8 +1119,10 @@ impl Simulator {
         }
     }
 
-    fn record_in_rb(&mut self, slot: usize) {
-        if self.rb.is_none() {
+    /// Builds an execution record for `slot` and offers it to every
+    /// mechanism that asked for exec records (`wants_exec_records`).
+    fn record_exec(&mut self, slot: usize) {
+        if !self.mech_wants_exec {
             return;
         }
         if self.rob.reused.test(slot) {
@@ -1199,9 +1191,14 @@ impl Simulator {
             result,
             mem,
         };
-        let Some(rb) = self.rb.as_mut() else { return };
-        let entry = rb.insert(rec);
-        self.rob.rb_entry[slot] = Some(entry);
+        for m in self.mechs.iter_mut() {
+            if !m.wants_exec_records() {
+                continue;
+            }
+            if let Some(entry) = m.on_executed(&rec) {
+                self.rob.rb_entry[slot] = Some(entry);
+            }
+        }
     }
 
     // ----------------------------------------------------------------
@@ -1377,16 +1374,23 @@ impl Simulator {
             if self.rob.exec_count[slot] > 0 {
                 self.stats.squashed_executed += 1;
             }
-            if let (Some(rb), Some(entry)) = (self.rb.as_mut(), self.rob.rb_entry[slot]) {
-                rb.flag(entry);
-            }
-            // A squashed store never becomes architectural, but loads on
-            // its path may have captured its (forwarded) value into the
-            // reuse buffer — invalidate those entries.
-            if self.rob.stores.test(slot) {
-                if let (Some(rb), Some(addr)) = (self.rb.as_mut(), self.rob.out[slot].addr)
-                {
-                    rb.on_store(addr, self.rob.mem[slot].width);
+            if !self.mechs.is_empty() {
+                // A squashed store never becomes architectural, but loads
+                // on its path may have captured its (forwarded) value into
+                // a reuse structure — mechanisms invalidate those entries.
+                let victim = SquashVictim {
+                    seq: vseq,
+                    rb_entry: self.rob.rb_entry[slot],
+                    squashed_store: if self.rob.stores.test(slot) {
+                        self.rob.out[slot]
+                            .addr
+                            .map(|a| (a, self.rob.mem[slot].width))
+                    } else {
+                        None
+                    },
+                };
+                for m in self.mechs.iter_mut() {
+                    m.on_squash_victim(&victim);
                 }
             }
             if self.rob.has_flag(slot, flag::HAS_CTRL) {
@@ -1419,9 +1423,13 @@ impl Simulator {
 
         // Roll back speculative architectural state and restart fetch.
         self.spec.rollback_to(seq);
-        if let Some(rb) = self.rb.as_mut() {
-            for &reg in &squashed_dsts {
-                rb.on_reg_write(reg, self.spec.regs().read(reg));
+        for m in self.mechs.iter_mut() {
+            m.on_squash(seq, self.now);
+        }
+        for &reg in &squashed_dsts {
+            let restored = self.spec.regs().read(reg);
+            for m in self.mechs.iter_mut() {
+                m.on_squash_restore(reg, restored);
             }
         }
         // Drain (rather than clear) the fetch queue so the RAS snapshots
@@ -1548,9 +1556,9 @@ impl Simulator {
                     self.rob.set_nonspec(slot, finish);
                 }
             }
-            // Record the completed load in the reuse buffer.
+            // Record the completed load in the reuse structures.
             if Some(addr) == out.addr && self.rob.has_flag(slot, flag::LAST_CORRECT) {
-                self.record_in_rb(slot);
+                self.record_exec(slot);
             }
         }
         self.slot_scratch = slots;
@@ -1769,6 +1777,12 @@ impl Simulator {
     // ----------------------------------------------------------------
 
     fn dispatch(&mut self) -> Result<(), SimError> {
+        // A granted trace replay consumes the whole dispatch stage this
+        // cycle: every member dispatches atomically, bypassing the
+        // decode-width limit (the headline benefit of trace reuse).
+        if self.mech_has_replay && self.try_replay()? {
+            return Ok(());
+        }
         let mut lsq_used = self.rob.mem_ops_in_flight();
         for _ in 0..self.config.decode_width {
             if self.rob.is_full() {
@@ -1796,6 +1810,123 @@ impl Simulator {
             }
         }
         Ok(())
+    }
+
+    /// Offers the PC at the head of the fetch queue to replay-capable
+    /// mechanisms. On a granted replay the fetched stream is replaced
+    /// by the trace: the queue drains, every member dispatches this
+    /// cycle through the ordinary `dispatch_one` path (so renaming,
+    /// checkpointing, and the per-member replay guard all run), and
+    /// fetch restarts after the trace's last member.
+    ///
+    /// Returns `Ok(true)` when a replay consumed the dispatch stage.
+    fn try_replay(&mut self) -> Result<bool, SimError> {
+        if self.rob.is_full() {
+            return Ok(false);
+        }
+        let Some(front) = self.fetch_queue.front() else {
+            return Ok(false);
+        };
+        let pc = front.pc;
+        let rob_free = self.config.rob_size - self.rob.len();
+        let lsq_free = self
+            .config
+            .lsq_size
+            .saturating_sub(self.rob.mem_ops_in_flight());
+        let cp_free = self
+            .config
+            .max_branches
+            .saturating_sub(self.checkpoints.len());
+
+        let mut plans = std::mem::take(&mut self.replay_plans);
+        plans.clear();
+        let mut granted = None;
+        for i in 0..self.mechs.len() {
+            if !self.mechs[i].has_replay() {
+                continue;
+            }
+            let q = ReplayQuery {
+                pc,
+                now: self.now,
+                regs: self.spec.regs(),
+                mem: self.spec.mem(),
+                rob_free,
+                lsq_free,
+                cp_free,
+            };
+            if self.mechs[i].replay_begin(&q, &mut plans) {
+                granted = Some(i);
+                break;
+            }
+        }
+        let Some(mi) = granted else {
+            self.replay_plans = plans;
+            return Ok(false);
+        };
+        // Pre-validate the plan against the static program: every member
+        // PC must decode to a real instruction. (Traces are captured
+        // from dispatched instructions, so this only fails if the table
+        // is corrupt — abort the replay rather than wedge dispatch.)
+        let plan_ok = !plans.is_empty()
+            && plans.iter().all(|p| self.program.inst_at(p.pc).is_some());
+        if !plan_ok {
+            self.mechs[mi].replay_abort();
+            self.replay_plans = plans;
+            return Ok(false);
+        }
+
+        // The replay replaces the fetched stream: drain the queue so the
+        // RAS snapshots inside pending predictions return to the pool.
+        while let Some(f) = self.fetch_queue.pop_front() {
+            if let Some(p) = f.pred {
+                self.ras_pool.push(p.ras_snapshot);
+            }
+        }
+
+        let mut next_pc = pc;
+        let mut redirected = false;
+        for plan in &plans {
+            let plan = *plan;
+            let Some(&inst) = self.program.inst_at(plan.pc) else {
+                break; // unreachable: validated above
+            };
+            let pred = if plan.is_ctrl {
+                // The trace's recorded outcome stands in for the branch
+                // predictor's direction; a real token is still claimed
+                // so commit-time training stays well-formed.
+                let (_, token) = self.bp.predict(plan.pc);
+                Some(FetchPred {
+                    taken: plan.taken,
+                    target: plan.target,
+                    token,
+                    used_ras: false,
+                    ras_snapshot: self.take_ras_snapshot(),
+                })
+            } else {
+                None
+            };
+            let f = FetchedInst {
+                pc: plan.pc,
+                inst,
+                pred,
+            };
+            redirected = self.dispatch_one(f)?;
+            next_pc = if plan.is_ctrl && plan.taken {
+                plan.target
+            } else {
+                plan.pc.wrapping_add(INST_BYTES)
+            };
+            if self.halted || redirected {
+                break;
+            }
+        }
+        if !self.halted && !redirected {
+            self.fetch_pc = next_pc;
+            self.fetch_halted = false;
+            self.fetch_stalled_until = self.now + 1;
+        }
+        self.replay_plans = plans;
+        Ok(true)
     }
 
     /// Dispatches one instruction; returns `true` if a reused branch
@@ -1917,24 +2048,19 @@ impl Simulator {
             self.rob.assign_flag(slot, flag::HAS_CTRL, true);
         }
 
-        // Enhancement hooks.
-        match self.config.enhancement {
-            Enhancement::Vp(_) => self.dispatch_vp(slot),
-            Enhancement::Ir(ir) => self.dispatch_ir(slot, ir.validation)?,
-            Enhancement::Hybrid(_, ir) => {
-                // Reuse first (non-speculative); predict only what missed.
-                self.dispatch_ir(slot, ir.validation)?;
-                if !self.rob.reused.test(slot) {
-                    self.dispatch_vp(slot);
-                }
-            }
-            Enhancement::None => {}
+        // Mechanism dispatch hooks, in registry order. Each mechanism
+        // sees the slot state left by its predecessors' actions (the
+        // hybrid's reuse-first-then-predict contract falls out of the
+        // [IR, VP] registry order plus the query's `reused` field).
+        if !self.mechs.is_empty() {
+            self.drive_dispatch_mechs(slot)?;
         }
 
         let reused = self.rob.reused.test(slot);
+        let trace_reused = self.rob.trace_reused.test(slot);
         if let Some(t) = self.trace.as_mut() {
             t.on_dispatch(seq, pc, inst, self.now);
-            if reused {
+            if reused || trace_reused {
                 t.on_outcome(seq, TraceOutcome::Reused);
             } else if self.rob.predicted[slot].is_some()
                 || self.rob.addr_predicted[slot].is_some()
@@ -1944,7 +2070,8 @@ impl Simulator {
                 t.on_outcome(seq, TraceOutcome::AddrReused);
             }
         }
-        let reused_branch = reused && self.rob.has_flag(slot, flag::HAS_CTRL);
+        let reused_branch =
+            (reused || trace_reused) && self.rob.has_flag(slot, flag::HAS_CTRL);
         self.rob.commit_push(slot);
         if let Some(dst) = inst.dst {
             if !dst.is_zero() {
@@ -1955,11 +2082,13 @@ impl Simulator {
             self.fetch_halted = true;
         }
         // Early validation: a reused branch resolves *at decode*, with
-        // zero resolution latency (Figure 4's reuse bars).
+        // zero resolution latency (Figure 4's reuse bars). Trace-reused
+        // branches behave the same way — their outcome was validated by
+        // the replay guard.
         if reused_branch {
             debug_assert!(
                 self.rob.ctrl_out.test(slot),
-                "dispatch_ir records computed_ctrl before marking a branch reused"
+                "mechanisms record computed_ctrl before marking a branch reused"
             );
             let (taken, target) = self.rob.computed_ctrl[slot];
             return self.act_on_branch(slot, taken, target, true);
@@ -1967,49 +2096,53 @@ impl Simulator {
         Ok(false)
     }
 
-    fn dispatch_vp(&mut self, slot: usize) {
-        let inst = self.rob.inst[slot];
-        let out = self.rob.out[slot];
-        let pc = self.rob.pc[slot];
-        let op = inst.op;
-        // Results: every register-writing, non-control instruction
-        // (including loads — load value prediction).
-        let predictable = inst.dst.is_some()
-            && out.result.is_some()
-            && !matches!(op.class(), OpClass::Jump | OpClass::JumpReg | OpClass::Misc);
-        if predictable {
-            if let Some(vp) = self.vp_result.as_mut() {
-                self.rob.predicted[slot] = vp.predict(pc, out.result);
-            }
-            if let Some(p) = self.rob.predicted[slot] {
-                self.rob.set_visible(slot, p, self.now + 1);
-            }
+    /// Runs every mechanism's dispatch hook against `slot`, applying
+    /// each action to the ROB before the next mechanism builds its
+    /// query (so later tenants observe earlier tenants' effects).
+    fn drive_dispatch_mechs(&mut self, slot: usize) -> Result<(), SimError> {
+        for i in 0..self.mechs.len() {
+            let want_views = self.mechs[i].wants_operand_views();
+            let q = self.build_dispatch_query(slot, want_views)?;
+            let mut act = DispatchAction::default();
+            self.mechs[i].on_dispatch(&q, &mut act);
+            self.apply_dispatch_action(slot, &act);
         }
-        // Addresses: loads whose result was not predicted and whose
-        // address did not already come from the reuse buffer.
-        if self.rob.loads.test(slot)
-            && self.rob.predicted[slot].is_none()
-            && !self.rob.addr_reused.test(slot)
-        {
-            if let Some(vp) = self.vp_addr.as_mut() {
-                self.rob.addr_predicted[slot] = vp.predict(pc, out.addr);
-            }
-        }
+        Ok(())
     }
 
-    fn dispatch_ir(&mut self, slot: usize, validation: Validation) -> Result<(), SimError> {
+    /// Snapshots the dispatch-time state a mechanism may consult. The
+    /// operand views, reuse-chain pointers, and store-conflict scan are
+    /// only materialised for mechanisms that asked for them
+    /// (`wants_operand_views`) — they walk ROB state.
+    fn build_dispatch_query(
+        &self,
+        slot: usize,
+        want_views: bool,
+    ) -> Result<DispatchQuery, SimError> {
         let inst = self.rob.inst[slot];
-        let op = inst.op;
-        match op.class() {
-            OpClass::Misc | OpClass::Jump => return Ok(()),
-            _ => {}
-        }
         let out = self.rob.out[slot];
-        let pc = self.rob.pc[slot];
-        let src_values = self.rob.src_values[slot];
-        let producers = self.rob.producers[slot];
+        let mut q = DispatchQuery {
+            pc: self.rob.pc[slot],
+            seq: self.rob.seq[slot],
+            now: self.now,
+            inst,
+            out,
+            src_values: self.rob.src_values[slot],
+            is_load: self.rob.loads.test(slot),
+            predicted: self.rob.predicted[slot],
+            reused: self.rob.reused.test(slot),
+            addr_reused: self.rob.addr_reused.test(slot),
+            views: [(None, OperandView::default()); 2],
+            chain: [None, None],
+            store_conflict: false,
+        };
+        if !want_views || matches!(inst.op.class(), OpClass::Misc | OpClass::Jump) {
+            return Ok(q);
+        }
+
         // Build the operand view against current pipeline state.
-        let mut views: [(Option<Reg>, OperandView); 2] = [(None, OperandView::default()); 2];
+        let src_values = q.src_values;
+        let producers = self.rob.producers[slot];
         for (i, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(reg) = src else { continue };
             let view = match producers[i] {
@@ -2038,99 +2171,69 @@ impl Simulator {
                     }
                 }
             };
-            views[i] = (Some(reg), view);
+            q.views[i] = (Some(reg), view);
         }
-        let lookup_view = move |r: Reg| {
-            for (reg, v) in views.iter() {
-                if *reg == Some(r) {
-                    return *v;
-                }
-            }
-            OperandView::default()
-        };
 
         // Dependence pointers of producers reused in this decode group
-        // (their entries enable same-cycle chain reuse under SnD). At most
-        // two operands, so a stack array stands in for the old Vec.
-        let mut chain = [None, None];
+        // (their entries enable same-cycle chain reuse under SnD).
         for (i, p) in producers.iter().enumerate() {
             let Some((pslot, pseq)) = p else { continue };
             if self.rob.is_live(*pslot)
                 && self.rob.seq[*pslot] == *pseq
                 && self.rob.reused.test(*pslot)
             {
-                chain[i] = self.rob.reuse_source[*pslot];
+                q.chain[i] = self.rob.reuse_source[*pslot];
             }
         }
-        let [c0, c1] = chain;
-        let backing;
-        let reused_now: &[vpir_reuse::EntryRef] = match (c0, c1) {
-            (Some(a), Some(b)) => {
-                backing = [a, b];
-                &backing
-            }
-            (Some(a), None) | (None, Some(a)) => {
-                backing = [a, a];
-                &backing[..1]
-            }
-            (None, None) => &[],
-        };
-
-        let Some(rb) = self.rb.as_mut() else { return Ok(()) };
-        let Some(mut hit) = rb.lookup(pc, op, &lookup_view, reused_now) else {
-            return Ok(());
-        };
 
         // A reused load must still snoop older in-flight stores: if one
         // overlaps its address, the buffered value may be stale relative
         // to this path — only the address computation is reusable. (The
         // slot being dispatched is not yet visible to the store mask.)
-        if hit.full && op.class() == OpClass::Load {
-            let laddr = out
-                .addr
-                .ok_or_else(|| self.internal_error("load has no computed address"))?;
-            let lend = laddr + self.rob.mem[slot].width.bytes();
-            let mut conflict = false;
-            let rob = &self.rob;
-            rob.for_each_masked(
-                |r, w| r.stores.words[w],
-                |s2| {
-                    let m = &rob.mem[s2];
-                    if let Some(a) = rob.out[s2].addr {
-                        if a < lend && laddr < a + m.width.bytes() {
-                            conflict = true;
-                            return false;
+        if inst.op.class() == OpClass::Load {
+            if let Some(laddr) = out.addr {
+                let lend = laddr + self.rob.mem[slot].width.bytes();
+                let mut conflict = false;
+                let rob = &self.rob;
+                rob.for_each_masked(
+                    |r, w| r.stores.words[w],
+                    |s2| {
+                        let m = &rob.mem[s2];
+                        if let Some(a) = rob.out[s2].addr {
+                            if a < lend && laddr < a + m.width.bytes() {
+                                conflict = true;
+                                return false;
+                            }
                         }
-                    }
-                    true
-                },
-            );
-            if conflict {
-                hit.full = false;
-                hit.result = None;
+                        true
+                    },
+                );
+                q.store_conflict = conflict;
             }
         }
+        Ok(q)
+    }
 
-        // Guard: the reuse test is non-speculative, so a hit must agree
-        // with the architectural truth for this dynamic instance.
-        let sound = match op.class() {
-            OpClass::Branch => hit.result == out.control.map(|c| c.taken as u64),
-            OpClass::JumpReg => hit.result == out.control.map(|c| c.target),
-            OpClass::Load | OpClass::Store => {
-                (!hit.full || hit.result == out.result)
-                    && (hit.addr.is_none() || hit.addr == out.addr)
+    /// Applies a mechanism's dispatch action to the ROB slot. The grant
+    /// arms mirror the paper's validation models: early validation
+    /// settles the slot at decode; late validation converts the reuse
+    /// into an always-correct value prediction.
+    fn apply_dispatch_action(&mut self, slot: usize, act: &DispatchAction) {
+        if let Some(p) = act.predicted {
+            self.rob.predicted[slot] = p;
+            if let Some(v) = p {
+                self.rob.set_visible(slot, v, self.now + 1);
             }
-            _ => !hit.full || hit.result == out.result,
-        };
-        debug_assert!(sound, "reuse test returned a wrong result for {:?}", inst);
-        if !sound {
-            return Ok(());
         }
-
-        self.rob.reuse_source[slot] = Some(hit.entry);
-        match validation {
-            Validation::Early => {
-                if hit.full {
+        if let Some(p) = act.addr_predicted {
+            self.rob.addr_predicted[slot] = p;
+        }
+        let out = self.rob.out[slot];
+        if let Some(r) = act.reuse {
+            self.rob.reuse_source[slot] = Some(r.entry);
+            match r.grant {
+                ReuseGrant::Tag => {}
+                ReuseGrant::EarlyFull => {
                     self.rob.reused.set(slot);
                     self.rob.set_nonspec(slot, self.now + 1);
                     if let Some(v) = out.result {
@@ -2146,11 +2249,12 @@ impl Simulator {
                         self.rob.assign_flag(slot, flag::LAST_CORRECT, true);
                         self.rob.assign_flag(slot, flag::LAST_FINAL, true);
                     }
-                } else if hit.addr.is_some() {
+                }
+                ReuseGrant::EarlyAddr(addr) => {
                     self.rob.addr_reused.set(slot);
                     if self.rob.has_flag(slot, flag::HAS_MEM) {
                         let mem = &mut self.rob.mem[slot];
-                        mem.computed_addr = hit.addr;
+                        mem.computed_addr = Some(addr);
                         mem.addr_known = Some(self.now + 1);
                     }
                     if self.rob.stores.test(slot) {
@@ -2160,23 +2264,41 @@ impl Simulator {
                     self.rob.assign_flag(slot, flag::LAST_CORRECT, true);
                     self.rob.assign_flag(slot, flag::LAST_FINAL, true);
                 }
-            }
-            Validation::Late => {
-                // Figure 3 "late": treat the reuse as a (always correct)
-                // value prediction — the instruction still executes.
-                if hit.full {
+                ReuseGrant::LateFull => {
                     if let Some(v) = out.result {
                         self.rob.predicted[slot] = Some(v);
                         self.rob.set_visible(slot, v, self.now + 1);
                     }
                     self.rob.assign_flag(slot, flag::LATE_REUSED, true);
-                } else if hit.addr.is_some() {
-                    self.rob.addr_predicted[slot] = hit.addr;
+                }
+                ReuseGrant::LateAddr(addr) => {
+                    self.rob.addr_predicted[slot] = Some(addr);
                     self.rob.assign_flag(slot, flag::LATE_REUSED, true);
                 }
             }
         }
-        Ok(())
+        if act.trace_member {
+            // Replay-validated trace member: settled at decode like an
+            // early-validated reuse, but attributed to the RTB.
+            self.rob.trace_reused.set(slot);
+            self.rob.set_nonspec(slot, self.now + 1);
+            if let Some(v) = out.result {
+                self.rob.set_visible(slot, v, self.now + 1);
+            }
+            if self.rob.has_flag(slot, flag::HAS_MEM) {
+                let mem = &mut self.rob.mem[slot];
+                mem.computed_addr = out.addr;
+                mem.addr_known = Some(self.now + 1);
+            }
+            if self.rob.has_flag(slot, flag::HAS_CTRL) {
+                if let Some(c) = out.control {
+                    self.rob.computed_ctrl[slot] = (c.taken, c.target);
+                    self.rob.ctrl_out.set(slot);
+                }
+                self.rob.assign_flag(slot, flag::LAST_CORRECT, true);
+                self.rob.assign_flag(slot, flag::LAST_FINAL, true);
+            }
+        }
     }
 
     // ----------------------------------------------------------------

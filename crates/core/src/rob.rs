@@ -238,6 +238,9 @@ pub struct Rob {
     pub(crate) reused: SlotMask,
     /// IR: address (only) reused at decode (address generation done).
     pub(crate) addr_reused: SlotMask,
+    /// RTB: dispatched as a validated trace-replay member (settled at
+    /// decode like `reused`, but attributed to trace reuse).
+    pub(crate) trace_reused: SlotMask,
     /// Loads with a memory access in flight or completed.
     pub(crate) accessed: SlotMask,
     /// Ever needs a functional unit (class is not Misc/Jump).
@@ -301,6 +304,7 @@ impl Rob {
             stores: SlotMask::new(capacity),
             reused: SlotMask::new(capacity),
             addr_reused: SlotMask::new(capacity),
+            trace_reused: SlotMask::new(capacity),
             accessed: SlotMask::new(capacity),
             execable: SlotMask::new(capacity),
             asleep: SlotMask::new(capacity),
@@ -432,6 +436,7 @@ impl Rob {
         self.stores.clear(slot);
         self.reused.clear(slot);
         self.addr_reused.clear(slot);
+        self.trace_reused.clear(slot);
         self.accessed.clear(slot);
         self.execable.clear(slot);
         self.asleep.clear(slot);
@@ -599,7 +604,12 @@ impl Rob {
     /// and have no access in flight or completed.
     pub(crate) fn collect_mem_access(&self, out: &mut Vec<usize>) {
         self.collect_masked(
-            |r, w| r.loads.words[w] & !r.reused.words[w] & !r.accessed.words[w],
+            |r, w| {
+                r.loads.words[w]
+                    & !r.reused.words[w]
+                    & !r.trace_reused.words[w]
+                    & !r.accessed.words[w]
+            },
             out,
         );
     }
@@ -618,6 +628,7 @@ impl Rob {
                 r.execable.words[w]
                     & !r.exec.words[w]
                     & !r.reused.words[w]
+                    & !r.trace_reused.words[w]
                     & !r.addr_reused.words[w]
                     & !r.settled.words[w]
                     & !r.asleep.words[w]

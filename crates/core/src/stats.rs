@@ -6,6 +6,7 @@
 use vpir_mem::CacheStats;
 use vpir_predict::VptStats;
 use vpir_reuse::ReuseStats;
+use vpir_stats::RtbStats;
 
 /// Counters accumulated over one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -93,6 +94,10 @@ pub struct SimStats {
     pub vpt_addr: VptStats,
     /// Reuse-buffer counters (zero when IR is off).
     pub rb: ReuseStats,
+    /// Trace-reuse counters (zero when the RTB is off), including the
+    /// per-instruction-class and per-loop-depth attribution of committed
+    /// trace members.
+    pub rtb: RtbStats,
 }
 
 impl SimStats {
@@ -257,6 +262,51 @@ impl SimStats {
                 self.rb.mem_invalidations
             );
         }
+        if self.rtb != RtbStats::default() {
+            let _ = writeln!(
+                out,
+                "RTB: {} replays ({} insts, mean len {:.2}); {:.1}% of commits were trace members",
+                self.rtb.replays,
+                self.rtb.replayed_insts,
+                self.rtb.mean_trace_len(),
+                self.rtb.committed_reuse_pct(self.committed)
+            );
+            let _ = writeln!(
+                out,
+                "    captures: {} finalized, {} installed ({:.1}%), {} dropped, {} squashed, {} replay aborts",
+                self.rtb.captured,
+                self.rtb.installed,
+                self.rtb.install_pct(),
+                self.rtb.dropped,
+                self.rtb.pending_squashed,
+                self.rtb.aborted
+            );
+            let mut by_class = String::new();
+            for (name, count) in vpir_mechanism::CLASS_NAMES.iter().zip(self.rtb.per_class) {
+                if count > 0 {
+                    if !by_class.is_empty() {
+                        by_class.push_str("  ");
+                    }
+                    let _ = write!(by_class, "{name} {count}");
+                }
+            }
+            if !by_class.is_empty() {
+                let _ = writeln!(out, "    reused by type: {by_class}");
+            }
+            let mut by_depth = String::new();
+            for (depth, count) in self.rtb.per_depth.iter().enumerate() {
+                if *count > 0 {
+                    if !by_depth.is_empty() {
+                        by_depth.push_str("  ");
+                    }
+                    let tag = if depth == 4 { "4+".to_string() } else { depth.to_string() };
+                    let _ = write!(by_depth, "depth{tag} {count}");
+                }
+            }
+            if !by_depth.is_empty() {
+                let _ = writeln!(out, "    reused by loop depth: {by_depth}");
+            }
+        }
         let _ = writeln!(
             out,
             "caches: icache {}/{} hits  dcache {}/{} hits",
@@ -324,6 +374,37 @@ mod tests {
         assert!(r.contains("IPC"));
         assert!(r.contains("VP:"));
         assert!(r.contains("IR:"));
+    }
+
+    #[test]
+    fn rtb_report_attributes_by_type_and_loop_depth() {
+        let mut s = SimStats {
+            cycles: 10,
+            committed: 100,
+            ..SimStats::default()
+        };
+        assert!(
+            !s.report().contains("RTB:"),
+            "RTB section must stay silent when the mechanism is off"
+        );
+        s.rtb = RtbStats {
+            captured: 10,
+            installed: 8,
+            replays: 4,
+            replayed_insts: 12,
+            committed_reused: 12,
+            ..RtbStats::default()
+        };
+        s.rtb.per_class[0] = 9;
+        s.rtb.per_class[2] = 3;
+        s.rtb.per_depth[1] = 10;
+        s.rtb.per_depth[4] = 2;
+        let r = s.report();
+        assert!(r.contains("RTB: 4 replays"));
+        assert!(r.contains("int-alu 9"));
+        assert!(r.contains("load 3"));
+        assert!(r.contains("depth1 10"));
+        assert!(r.contains("depth4+ 2"));
     }
 
     #[test]

@@ -61,6 +61,11 @@ fn all_configs() -> Vec<(String, CoreConfig)> {
         cfg.front_end = fe;
         configs.push((format!("ir-{fe:?}"), cfg));
     }
+    // Trace reuse: replayed members bypass issue/execute entirely, so
+    // any guard bug shows up as an architectural divergence here.
+    for rtb in [vpir_core::RtbConfig::t4(), vpir_core::RtbConfig::t8()] {
+        configs.push((rtb.label(), CoreConfig::with_rtb(rtb)));
+    }
     // The VP+IR hybrid, in its most speculative and least speculative forms.
     for (kind, vl) in [(VpKind::Magic, 0u32), (VpKind::Lvp, 1), (VpKind::Stride, 1)] {
         let vp = VpConfig {
@@ -170,6 +175,7 @@ fn benchmarks_match_golden_model_under_key_configs() {
             ),
         ),
         ("ir".into(), CoreConfig::with_ir(IrConfig::table1())),
+        ("rtb-t8".into(), CoreConfig::with_rtb(vpir_core::RtbConfig::t8())),
     ];
     for bench in Bench::ALL {
         let prog = bench.program(Scale::test());

@@ -371,6 +371,68 @@ pub fn run(cfg: &LoadgenConfig) -> Result<String, String> {
     Ok(report)
 }
 
+/// Gates a fresh loadgen report against a committed baseline document.
+///
+/// Mirrors the cycle-rate gate in the bench crate: returns a
+/// human-readable comparison on success and an error when the current
+/// `throughput_rps` has regressed more than `max_regression_pct`
+/// percent below the baseline's (improvements and small regressions
+/// pass). Both documents must be `vpir-bench-serve-v1` reports over the
+/// same traffic mix — comparing a hit-heavy run against a slowloris
+/// baseline would gate on noise.
+pub fn gate(
+    report_json: &str,
+    baseline_json: &str,
+    max_regression_pct: u64,
+) -> Result<String, String> {
+    let field = |doc: &str, what: &str| -> Result<(String, u64), String> {
+        let v = vpir_jsonlite::parse_json(doc)
+            .map_err(|e| format!("{what} is not valid JSON: {e}"))?;
+        match v.get("schema").and_then(|s| s.as_str()) {
+            Some("vpir-bench-serve-v1") => {}
+            other => {
+                return Err(format!(
+                    "{what} schema is {other:?}, expected \"vpir-bench-serve-v1\""
+                ))
+            }
+        }
+        let mix = v
+            .get("mix")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| format!("{what} has no mix"))?
+            .to_string();
+        let rps = v
+            .get("throughput_rps")
+            .and_then(|s| s.as_u64())
+            .ok_or_else(|| format!("{what} has no integer throughput_rps"))?;
+        Ok((mix, rps))
+    };
+    let (mix, current) = field(report_json, "report")?;
+    let (base_mix, baseline) = field(baseline_json, "baseline")?;
+    if mix != base_mix {
+        return Err(format!(
+            "mix mismatch: report is `{mix}`, baseline is `{base_mix}`"
+        ));
+    }
+    if baseline == 0 {
+        return Err("baseline throughput_rps is zero".into());
+    }
+    let floor = baseline.saturating_mul(100 - max_regression_pct.min(100)) / 100;
+    let ratio = current as f64 / baseline as f64;
+    if current < floor {
+        return Err(format!(
+            "throughput regression ({mix}): {current} rps is {:.1}% of the {baseline} rps \
+             baseline (gate allows {max_regression_pct}% regression, floor {floor})",
+            ratio * 100.0
+        ));
+    }
+    Ok(format!(
+        "throughput gate ({mix}): {current} rps vs baseline {baseline} ({:+.1}%), within {}%",
+        (ratio - 1.0) * 100.0,
+        max_regression_pct
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +502,36 @@ mod tests {
         let report = run(&cfg).expect("report");
         assert!(report.contains("\"schema\": \"vpir-bench-serve-v1\""), "{report}");
         assert!(validate_json(&report, REPORT_KEYS).is_ok(), "{report}");
+    }
+
+    fn serve_report(mix: &str, rps: u64) -> String {
+        JsonObj::new()
+            .s("schema", "vpir-bench-serve-v1")
+            .s("mix", mix)
+            .u("throughput_rps", rps)
+            .finish()
+    }
+
+    #[test]
+    fn throughput_gate_passes_and_fails_on_the_floor() {
+        let baseline = serve_report("hit-heavy", 1000);
+        // 10% allowed: 900 rps is exactly the floor, 899 regresses.
+        let ok = gate(&serve_report("hit-heavy", 900), &baseline, 10).expect("at floor");
+        assert!(ok.contains("within 10%"), "{ok}");
+        let err = gate(&serve_report("hit-heavy", 899), &baseline, 10).expect_err("regression");
+        assert!(err.contains("throughput regression"), "{err}");
+        // Improvements always pass.
+        assert!(gate(&serve_report("hit-heavy", 5000), &baseline, 0).is_ok());
+    }
+
+    #[test]
+    fn throughput_gate_rejects_mismatched_documents() {
+        let baseline = serve_report("hit-heavy", 1000);
+        let err = gate(&serve_report("matrix", 1000), &baseline, 10).expect_err("mix");
+        assert!(err.contains("mix mismatch"), "{err}");
+        assert!(gate("{not json", &baseline, 10).is_err());
+        assert!(gate(&serve_report("hit-heavy", 1), "{\"schema\": \"zap\"}", 10).is_err());
+        let zero = serve_report("hit-heavy", 0);
+        assert!(gate(&serve_report("hit-heavy", 1), &zero, 10).is_err());
     }
 }

@@ -263,6 +263,7 @@ fn worker_count_does_not_change_a_single_byte() {
         "{\"bench\": \"compress\", \"config\": \"ir_early\", \"max_cycles\": 40000}".to_string(),
         "{\"bench\": \"compress\", \"config\": \"magic:ME-SB:vl1\", \"max_cycles\": 40000}"
             .to_string(),
+        "{\"bench\": \"compress\", \"config\": \"rtb:t8\", \"max_cycles\": 40000}".to_string(),
         "{\"asm\": \"li r1, 3\\naddi r1, r1, 4\\nhalt\", \"trace\": 16}".to_string(),
     ];
     for request in &requests {

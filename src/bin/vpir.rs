@@ -66,9 +66,10 @@ use std::process::ExitCode;
 
 use vpir::analyze;
 use vpir::core::{
-    BranchResolution, CoreConfig, IrConfig, Reexecution, RunLimits, Simulator, Validation,
-    VpConfig, VpKind,
+    BranchResolution, CoreConfig, IrConfig, Reexecution, RtbConfig, RunLimits, Simulator,
+    Validation, VpConfig, VpKind,
 };
+use vpir::mechanism::registry;
 use vpir::bench::matrix::{config_labels, InjectFault, MatrixConfig, RunOptions};
 use vpir::bench::perf::{
     measure_cycle_rate, run_matrix_timed_opts, validate_json, CYCLES_REQUIRED_KEYS, REQUIRED_KEYS,
@@ -95,9 +96,11 @@ fn usage() -> ExitCode {
          \x20          [--cache-dir DIR] [--disk-bytes N] [--request-deadline-ms N]\n  \
          \x20          [--idle-timeout-ms N] [--read-deadline-ms N] [--max-requests N]\n  \
          \x20          [--inject-fault corrupt-store|truncate-store]\n  \
-         vpir loadgen --addr HOST:PORT [--conns N] [--duration-ms N] [--mix MIX] [--out PATH]\n\n\
-         machines: base | vp | lvp | stride | ir | ir-late | hybrid\n\
-         \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)"
+         vpir loadgen --addr HOST:PORT [--conns N] [--duration-ms N] [--mix MIX] [--out PATH]\n\
+         \x20          [--baseline PATH] [--gate-pct N]\n\n\
+         machines: base | vp | lvp | stride | ir | ir-late | hybrid | rtb | rtb:t4 | rtb:t8\n\
+         \x20         or vp:<me|nme>-<sb|nsb>:vl<0|1> (paper configurations)\n\
+         \x20         or any registry label (e.g. magic:ME-SB:vl1)"
     );
     ExitCode::FAILURE
 }
@@ -133,7 +136,14 @@ fn parse_machine(spec: &str) -> Result<CoreConfig, String> {
         "hybrid" => {
             return Ok(CoreConfig::with_hybrid(VpConfig::magic(), IrConfig::table1()))
         }
+        "rtb" => return Ok(CoreConfig::with_rtb(RtbConfig::t8())),
         _ => {}
+    }
+    // Any label the mechanism registry knows (`magic:ME-SB:vl1`,
+    // `rtb:t4`, `ir_early`, ...) — the same vocabulary the bench
+    // matrix, fault injection, and `vpir serve` validate against.
+    if let Some(enh) = registry::enhancement_for_label(spec) {
+        return Ok(CoreConfig::with_enhancement(enh));
     }
     // Structured form: <vp|lvp|stride>:<me|nme>-<sb|nsb>:vl<0|1>
     let parts: Vec<&str> = spec.split(':').collect();
@@ -558,6 +568,8 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         mix: Mix::HitHeavy,
     };
     let mut out_path = "BENCH_serve.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut gate_pct: u64 = 10;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -590,6 +602,17 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
                 i += 1;
                 out_path = args.get(i).cloned().ok_or("--out needs a path")?;
             }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).cloned().ok_or("--baseline needs a path")?);
+            }
+            "--gate-pct" => {
+                i += 1;
+                gate_pct = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--gate-pct needs a number")?;
+            }
             other => return Err(format!("loadgen: unknown option `{other}`")),
         }
         i += 1;
@@ -604,6 +627,11 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     fs::write(&out_path, &report).map_err(|e| format!("{out_path}: {e}"))?;
     println!("{report}");
     println!("wrote {out_path}");
+    if let Some(path) = baseline_path {
+        let baseline = fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let verdict = loadgen::gate(&report, &baseline, gate_pct)?;
+        println!("{verdict}");
+    }
     Ok(())
 }
 

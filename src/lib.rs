@@ -43,6 +43,7 @@ pub use vpir_branch as branch;
 pub use vpir_jsonlite as jsonlite;
 pub use vpir_serve as serve;
 pub use vpir_core as core;
+pub use vpir_mechanism as mechanism;
 pub use vpir_isa as isa;
 pub use vpir_isa_analyze as isa_analyze;
 pub use vpir_mem as mem;
